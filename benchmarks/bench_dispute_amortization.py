@@ -1,0 +1,77 @@
+"""Amortisation of dispute control (Section 2 and Appendix D).
+
+Paper claims:
+
+* dispute control is performed at most ``f (f + 1)`` times over any number of
+  NAB instances, because each execution yields a new dispute pair or a newly
+  identified faulty node;
+* its cost therefore amortises away: as the number of instances ``Q`` grows,
+  the measured throughput under attack approaches the fault-free throughput.
+
+The benchmark runs NAB against an equality-check-garbage adversary for growing
+``Q`` and reports the measured throughput, the number of Phase 3 executions,
+and the fault-free reference throughput.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.strategies import EqualityGarbageStrategy
+from repro.analysis.reporting import format_table
+from repro.analysis.throughput import measure_nab_throughput
+from repro.graph.generators import complete_graph
+from repro.transport.faults import FaultModel
+
+INSTANCE_COUNTS = [1, 2, 4, 8, 16]
+VALUE_BYTES = 8
+MAX_FAULTS = 1
+
+
+def _inputs(count):
+    return [bytes(((13 * index + offset) % 256) for offset in range(VALUE_BYTES)) for index in range(count)]
+
+
+def _sweep():
+    graph = complete_graph(4, capacity=2)
+    reference = measure_nab_throughput(graph, 1, MAX_FAULTS, _inputs(max(INSTANCE_COUNTS)))
+    rows = []
+    for count in INSTANCE_COUNTS:
+        attacked = measure_nab_throughput(
+            graph,
+            1,
+            MAX_FAULTS,
+            _inputs(count),
+            fault_model=FaultModel([3], EqualityGarbageStrategy()),
+        )
+        rows.append((count, attacked, reference))
+    return rows
+
+
+def test_dispute_control_amortises(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = [
+        [
+            count,
+            attacked.dispute_control_executions,
+            float(attacked.throughput),
+            float(reference.throughput),
+            float(attacked.throughput / reference.throughput),
+        ]
+        for count, attacked, reference in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["Q", "phase-3 runs", "attacked throughput", "fault-free throughput", "ratio"],
+            table,
+        )
+    )
+    budget = MAX_FAULTS * (MAX_FAULTS + 1)
+    for count, attacked, _reference in rows:
+        assert attacked.dispute_control_executions <= budget
+    ratios = [attacked.throughput / reference.throughput for _c, attacked, reference in rows]
+    # Throughput under attack improves as Q grows (the amortisation curve):
+    # the single dispute-control execution is a fixed cost, so the ratio to the
+    # fault-free throughput climbs roughly linearly in Q (it reaches 1 only in
+    # the large-L, large-Q limit the paper analyses).
+    assert all(later > earlier for earlier, later in zip(ratios, ratios[1:]))
+    assert ratios[-1] > 8 * ratios[0]

@@ -1,0 +1,69 @@
+"""End-to-end NAB throughput vs the analytical Eq. 6 / Theorem 2 regime.
+
+Paper claim (Section 5.1 / Appendix D): for large ``L`` and ``Q`` the measured
+NAB throughput approaches ``gamma* rho* / (gamma* + rho*)`` because the only
+``L``-dependent costs are Phase 1 (``L / gamma``) and the Equality Check
+(``L / rho``), while the flag broadcasts cost ``O(n^alpha)`` bits independent
+of ``L``.
+
+The benchmark keeps the network fixed and sweeps the input size ``L``; the
+measured single-instance throughput (fault-free, so no dispute control) must
+increase with ``L`` and approach the Eq. 6 bound from below, while never
+exceeding the Theorem 2 capacity upper bound.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.reporting import format_table
+from repro.capacity.bounds import analyse_network
+from repro.core.nab import NetworkAwareBroadcast
+from repro.graph.generators import complete_graph
+
+# Value sizes in bytes.  The largest size keeps the equality-check symbol field
+# at 1024 bits, the largest degree with a tabulated irreducible polynomial
+# (larger fields require a slow irreducibility search and add nothing here).
+VALUE_LENGTHS = [8, 32, 128, 512]
+MAX_FAULTS = 1
+
+
+def _sweep():
+    graph = complete_graph(4, capacity=2)
+    analysis = analyse_network(graph, 1, MAX_FAULTS)
+    rows = []
+    for length in VALUE_LENGTHS:
+        nab = NetworkAwareBroadcast(graph, 1, MAX_FAULTS)
+        value = bytes((index * 31) % 256 for index in range(length))
+        result = nab.run_instance(value)
+        assert result.agreed_value() == int.from_bytes(value, "big")
+        throughput = Fraction(8 * length) / result.elapsed
+        rows.append((8 * length, throughput))
+    return analysis, rows
+
+
+def test_throughput_approaches_eq6_with_large_L(benchmark):
+    analysis, rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    table = [
+        [
+            bits,
+            float(throughput),
+            float(analysis.nab_lower_bound),
+            float(analysis.capacity_upper_bound),
+            float(throughput / analysis.nab_lower_bound),
+        ]
+        for bits, throughput in rows
+    ]
+    print()
+    print(
+        format_table(
+            ["L (bits)", "measured throughput", "Eq.6 bound", "Thm 2 bound", "measured/Eq.6"],
+            table,
+        )
+    )
+    throughputs = [throughput for _bits, throughput in rows]
+    # Monotone in L and never above the capacity upper bound.
+    assert all(later >= earlier for earlier, later in zip(throughputs, throughputs[1:]))
+    assert all(throughput <= analysis.capacity_upper_bound for throughput in throughputs)
+    # For the largest L the measured throughput reaches at least 80% of Eq. 6.
+    assert throughputs[-1] >= analysis.nab_lower_bound * Fraction(80, 100)

@@ -1,0 +1,55 @@
+"""Figure 1 reproduction: the example graphs' min-cut quantities.
+
+Paper claims (Section 2 and Section 3, discussing Figures 1(a)/1(b)):
+
+* in Figure 1(a): ``MINCUT(G, 1, 2) = MINCUT(G, 1, 4) = 2``,
+  ``MINCUT(G, 1, 3) = 3`` and hence ``gamma = 2``;
+* nodes 2 and 4 share no link, so they can never be found in dispute;
+* in Figure 1(b) (after a 2-3 dispute) with ``n = 4, f = 1``: ``Omega_k``
+  consists of the subgraphs on ``{1, 2, 4}`` and ``{1, 3, 4}`` and ``U_k = 2``.
+
+The benchmark recomputes every quantity from the reconstructed graphs and
+asserts the paper's numbers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.coding.omega import compute_uk, dispute_free_subgraphs
+from repro.graph.generators import figure1a, figure1b
+from repro.graph.mincut import all_target_mincuts, broadcast_mincut
+from repro.types import node_pair
+
+
+def _figure1_quantities():
+    graph_a = figure1a()
+    cuts = all_target_mincuts(graph_a, 1)
+    gamma = broadcast_mincut(graph_a, 1)
+    graph_b = figure1b()
+    omega = dispute_free_subgraphs(graph_b, 3, [node_pair(2, 3)])
+    uk = compute_uk(graph_b, omega)
+    return cuts, gamma, omega, uk
+
+
+def test_figure1_mincut_and_uk_values(benchmark):
+    cuts, gamma, omega, uk = benchmark(_figure1_quantities)
+    rows = [
+        ["MINCUT(G, 1, 2)", 2, cuts[2]],
+        ["MINCUT(G, 1, 3)", 3, cuts[3]],
+        ["MINCUT(G, 1, 4)", 2, cuts[4]],
+        ["gamma_k (Fig 1a)", 2, gamma],
+        ["|Omega_k| (Fig 1b)", 2, len(omega)],
+        ["U_k (Fig 1b)", 2, uk],
+    ]
+    print()
+    print(format_table(["quantity", "paper", "measured"], rows))
+    assert cuts == {2: 2, 3: 3, 4: 2}
+    assert gamma == 2
+    assert sorted(omega) == [(1, 2, 4), (1, 3, 4)]
+    assert uk == 2
+
+
+def test_figure1_no_link_between_2_and_4(benchmark):
+    graph = benchmark(figure1a)
+    assert not graph.has_edge(2, 4)
+    assert not graph.has_edge(4, 2)

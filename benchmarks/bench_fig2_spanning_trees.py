@@ -1,0 +1,64 @@
+"""Figure 2 reproduction: spanning-tree packing in the directed example graph.
+
+Paper claims (Appendix A, discussing Figures 2(a)-(d)):
+
+* two unit-capacity spanning trees can be embedded in the directed graph;
+* link ``(1, 2)`` is used by both trees, for a total usage of 2 units, which
+  equals its capacity;
+* the undirected view sums the capacities of anti-parallel links, and an
+  undirected spanning tree (Figure 2(d)) need not correspond to any directed
+  arborescence — the example tree uses directed edges (2,3), (1,4), (4,3).
+
+The benchmark packs the arborescences constructively, validates the packing,
+and checks the undirected-view facts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.graph.generators import figure2_tree_packing, figure2a
+from repro.graph.mincut import broadcast_mincut
+from repro.graph.spanning_trees import pack_arborescences, packing_edge_usage, validate_packing
+from repro.graph.undirected import UndirectedView
+
+
+def _pack_figure2():
+    graph = figure2a()
+    trees = pack_arborescences(graph, 1)
+    validate_packing(graph, 1, trees)
+    return graph, trees
+
+
+def test_figure2_two_tree_packing(benchmark):
+    graph, trees = benchmark(_pack_figure2)
+    usage = packing_edge_usage(trees)
+    rows = [
+        ["gamma (number of trees)", 2, len(trees)],
+        ["usage of link (1,2)", 2, usage.get((1, 2), 0)],
+        ["capacity of link (1,2)", 2, graph.capacity(1, 2)],
+    ]
+    print()
+    print(format_table(["quantity", "paper", "measured"], rows))
+    assert len(trees) == broadcast_mincut(graph, 1) == 2
+    assert usage[(1, 2)] == 2 == graph.capacity(1, 2)
+
+
+def test_figure2_undirected_view_and_reference_tree(benchmark):
+    view = benchmark(lambda: UndirectedView(figure2a()))
+    # Undirected capacities sum both directions; (1,2) keeps capacity 2.
+    assert view.capacity(1, 2) == 2
+    # The Appendix C example tree uses directed edges (2,3), (1,4), (4,3): its
+    # undirected counterpart {2,3}, {1,4}, {3,4} spans the 4 nodes...
+    assert view.has_edge(2, 3) and view.has_edge(1, 4) and view.has_edge(3, 4)
+    # ...but those directed edges do not form a directed arborescence from node 1.
+    graph = figure2a()
+    reachable_using_example_edges = {1}
+    for tail, head in [(1, 4), (4, 3), (2, 3)]:
+        if tail in reachable_using_example_edges:
+            reachable_using_example_edges.add(head)
+    assert 2 not in reachable_using_example_edges
+    # The reference packing shipped with the generators is a valid packing.
+    from repro.graph.spanning_trees import Arborescence
+
+    reference = [Arborescence(1, parents) for parents in figure2_tree_packing()]
+    validate_packing(graph, 1, reference)

@@ -1,0 +1,60 @@
+"""Theorem 1 reproduction: random coding matrices are correct with high probability.
+
+Paper claim (Theorem 1): drawing the coding-matrix entries uniformly at random
+from ``GF(2^(L/rho))`` yields a *correct* scheme (property (EC)) with
+probability at least ``1 - 2^(-L/rho) * C(n, n-f) * (n-f-1) * rho``.
+
+The benchmark sweeps the symbol size ``L / rho`` on the paper's Figure 1(b)
+instance graph, draws many independent random schemes per size, measures the
+empirical fraction that fail the full-rank verification, and checks it never
+exceeds the paper's bound.  The failure rate must also decay as the symbol
+size grows (the reason the paper needs "sufficiently large L").
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.analysis.reporting import format_table
+from repro.coding.coding_matrix import generate_coding_scheme
+from repro.coding.omega import omega_and_parameters
+from repro.coding.verification import scheme_is_correct, theorem1_failure_bound
+from repro.graph.generators import figure1b
+from repro.types import node_pair
+
+SYMBOL_BITS = [1, 2, 3, 4, 6, 8]
+TRIALS = 120
+N_NODES = 4
+MAX_FAULTS = 1
+
+
+def _sweep():
+    graph = figure1b()
+    omega, _uk, rho = omega_and_parameters(graph, N_NODES, MAX_FAULTS, [node_pair(2, 3)])
+    results = []
+    for bits in SYMBOL_BITS:
+        failures = 0
+        for seed in range(TRIALS):
+            scheme = generate_coding_scheme(graph, rho, bits, seed=seed)
+            if not scheme_is_correct(graph, omega, scheme):
+                failures += 1
+        empirical = Fraction(failures, TRIALS)
+        bound = theorem1_failure_bound(N_NODES, MAX_FAULTS, rho, bits)
+        results.append((bits, empirical, bound))
+    return results
+
+
+def test_theorem1_failure_rate_within_bound(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["symbol bits (L/rho)", "empirical failure rate", "Theorem 1 bound"],
+            [[bits, float(emp), float(bound)] for bits, emp, bound in results],
+        )
+    )
+    for _bits, empirical, bound in results:
+        assert empirical <= bound
+    # The failure rate decays with the symbol size and vanishes for >= 6 bits.
+    assert results[0][1] >= results[-1][1]
+    assert results[-1][1] == 0

@@ -1,0 +1,69 @@
+"""Theorem 2 reproduction: the capacity upper bound dominates every achievable rate.
+
+Paper claim (Theorem 2): ``C_BB(G) <= min(gamma*, 2 rho*)``.
+
+We cannot enumerate all BB algorithms, but we can check the bound's two
+defining consequences on a spread of topologies:
+
+* it is never below NAB's Eq. 6 lower bound (otherwise the theorems would be
+  mutually inconsistent), and
+* it is never above the trivial outer bounds it is derived from — the source's
+  broadcast min-cut ``gamma_1`` (Appendix F.1 cuts) and twice the smallest
+  pairwise undirected min-cut ``U_1`` (Appendix F.2 cuts).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.reporting import format_table
+from repro.capacity.bounds import analyse_network
+from repro.capacity.gamma_star import gamma_of_full_graph
+from repro.capacity.rho_star import u1_value
+from repro.graph.generators import random_connected_network
+from repro.workloads.topologies import topology
+
+TOPOLOGIES = ["k4-unit", "k4-fast", "k5-unit", "k7-unit", "ring7-chords", "bottleneck4", "bottleneck5"]
+
+
+def _analyse_all():
+    rows = []
+    for name in TOPOLOGIES:
+        graph = topology(name)
+        analysis = analyse_network(graph, 1, 1)
+        gamma1 = gamma_of_full_graph(graph, 1)
+        u1 = u1_value(graph, 1)
+        rows.append((name, analysis, gamma1, u1))
+    for seed in range(4):
+        graph = random_connected_network(6, 3, random.Random(seed), max_capacity=4)
+        analysis = analyse_network(graph, 1, 1)
+        rows.append((f"random6/seed{seed}", analysis, gamma_of_full_graph(graph, 1), u1_value(graph, 1)))
+    return rows
+
+
+def test_theorem2_upper_bound_consistency(benchmark):
+    rows = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    table = []
+    for name, analysis, gamma1, u1 in rows:
+        table.append(
+            [
+                name,
+                analysis.gamma_star,
+                analysis.rho_star,
+                float(analysis.nab_lower_bound),
+                float(analysis.capacity_upper_bound),
+                gamma1,
+                u1,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["topology", "gamma*", "rho*", "T_NAB (Eq.6)", "min(gamma*,2rho*)", "gamma_1", "U_1"],
+            table,
+        )
+    )
+    for _name, analysis, gamma1, u1 in rows:
+        assert analysis.capacity_upper_bound >= analysis.nab_lower_bound
+        assert analysis.capacity_upper_bound <= gamma1
+        assert analysis.capacity_upper_bound <= u1

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in fully offline environments where the
+PEP 517 editable-wheel path is unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Concrete Byzantine attack strategies used in tests, examples and benchmarks.
+
+The paper's adversary is all-powerful within its budget of ``f`` nodes; NAB's
+correctness is proved against *every* behaviour.  The strategies here cover
+the attack surfaces the paper's analysis distinguishes: corrupting the
+unreliable Phase 1 broadcast (as a relay or as an equivocating source),
+sending garbage during the Equality Check, announcing false flags to force
+needless dispute control, lying during dispute control, and corrupting the
+classical sub-broadcasts.  They are all deterministic (optionally seeded) so
+experiments are reproducible.
+"""
+
+from repro.adversary.strategies import (
+    CrashStrategy,
+    DisputeLiarStrategy,
+    EqualityGarbageStrategy,
+    EquivocatingSourceStrategy,
+    FalseFlagStrategy,
+    Phase1CorruptingRelayStrategy,
+    RandomizedChaosStrategy,
+    SubBroadcastLiarStrategy,
+)
+
+__all__ = [
+    "CrashStrategy",
+    "EquivocatingSourceStrategy",
+    "Phase1CorruptingRelayStrategy",
+    "EqualityGarbageStrategy",
+    "FalseFlagStrategy",
+    "DisputeLiarStrategy",
+    "SubBroadcastLiarStrategy",
+    "RandomizedChaosStrategy",
+]

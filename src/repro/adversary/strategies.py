@@ -1,0 +1,193 @@
+"""Byzantine strategies exercising each attack surface of NAB.
+
+Each strategy overrides only the hooks relevant to its attack; everything else
+follows the honest protocol, which is the hardest case for detection (a noisy
+attacker that corrupts everything is trivially caught).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Sequence
+
+from repro.transport.faults import ByzantineStrategy
+from repro.types import NodeId
+
+
+class CrashStrategy(ByzantineStrategy):
+    """Omission faults: the node "sends nothing", modelled as all-zero / default values.
+
+    The paper stipulates that a missing message is interpreted as a default
+    value by its recipient, so a crash is equivalent to sending that default.
+    """
+
+    name = "crash"
+
+    def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
+        return 0
+
+    def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
+        return 0
+
+    def equality_check_vector(self, instance, node, neighbor, true_vector):
+        return [0] * len(true_vector)
+
+    def equality_check_flag(self, instance, node, true_flag):
+        return False
+
+    def broadcast_value(self, instance, node, receiver, context, true_value):
+        return None
+
+    def relay_value(self, instance, node, path, receiver, true_value):
+        return None
+
+    def dispute_claims(self, instance, node, true_claims):
+        return {}
+
+
+class EquivocatingSourceStrategy(ByzantineStrategy):
+    """The faulty source sends different Phase 1 symbols to different subtrees.
+
+    This creates outcome (iv) of Phase 1 (fault-free nodes receive different
+    values), which the Equality Check must detect.
+    """
+
+    name = "equivocating-source"
+
+    def __init__(self, flip_mask: int = 1) -> None:
+        self.flip_mask = flip_mask
+
+    def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
+        # Children with even identifiers receive a corrupted symbol.
+        if child % 2 == 0:
+            return true_symbol ^ self.flip_mask
+        return true_symbol
+
+
+class Phase1CorruptingRelayStrategy(ByzantineStrategy):
+    """A faulty relay corrupts the symbols it forwards during Phase 1 only."""
+
+    name = "phase1-corrupting-relay"
+
+    def __init__(self, flip_mask: int = 1) -> None:
+        self.flip_mask = flip_mask
+
+    def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
+        return true_symbol ^ self.flip_mask
+
+
+class EqualityGarbageStrategy(ByzantineStrategy):
+    """A faulty node sends garbage coded symbols during the Equality Check.
+
+    This cannot break agreement (the symbols a node sends about *its own*
+    value only ever cause extra MISMATCH flags) but it does force dispute
+    control, so it is the canonical "waste everyone's time" attack.
+    """
+
+    name = "equality-garbage"
+
+    def __init__(self, offset: int = 1) -> None:
+        self.offset = offset
+
+    def equality_check_vector(self, instance, node, neighbor, true_vector):
+        return [symbol ^ self.offset for symbol in true_vector]
+
+
+class FalseFlagStrategy(ByzantineStrategy):
+    """A faulty node announces MISMATCH even though its checks all passed."""
+
+    name = "false-flag"
+
+    def equality_check_flag(self, instance, node, true_flag):
+        return True
+
+
+class DisputeLiarStrategy(ByzantineStrategy):
+    """During dispute control the faulty node lies about what it received in Phase 1.
+
+    Combined with corrupting Phase 1 forwards, this is the attack that forces
+    dispute control to fall back on pairwise disputes rather than immediately
+    identifying the faulty node.
+    """
+
+    name = "dispute-liar"
+
+    def __init__(self, flip_mask: int = 1) -> None:
+        self.flip_mask = flip_mask
+
+    def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
+        return true_symbol ^ self.flip_mask
+
+    def dispute_claims(self, instance, node, true_claims):
+        claims = {key: dict(value) if isinstance(value, dict) else value
+                  for key, value in true_claims.items()}
+        received = dict(claims.get("phase1_received", {}))
+        # Claim it received exactly what it (corruptedly) forwarded, pushing the
+        # blame towards its parents.
+        for tree_index, symbol in received.items():
+            received[tree_index] = symbol ^ self.flip_mask
+        claims["phase1_received"] = received
+        return claims
+
+
+class SubBroadcastLiarStrategy(ByzantineStrategy):
+    """Corrupts the classical sub-broadcast (EIG) rounds with inconsistent values."""
+
+    name = "sub-broadcast-liar"
+
+    def broadcast_value(self, instance, node, receiver, context, true_value):
+        return ("lie", receiver % 2)
+
+
+class RandomizedChaosStrategy(ByzantineStrategy):
+    """Seeded random misbehaviour on every hook (for property-based robustness tests)."""
+
+    name = "randomized-chaos"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _rng(self, *key: Any) -> random.Random:
+        return random.Random("|".join([str(self.seed)] + [repr(part) for part in key]))
+
+    def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
+        rng = self._rng("p1src", instance, tree_index, child)
+        return true_symbol ^ rng.getrandbits(8)
+
+    def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
+        rng = self._rng("p1fwd", instance, node, tree_index, child)
+        return true_symbol ^ rng.getrandbits(8)
+
+    def equality_check_vector(self, instance, node, neighbor, true_vector):
+        rng = self._rng("eq", instance, node, neighbor)
+        return [symbol ^ rng.getrandbits(4) for symbol in true_vector]
+
+    def equality_check_flag(self, instance, node, true_flag):
+        return self._rng("flag", instance, node).random() < 0.5
+
+    def broadcast_value(self, instance, node, receiver, context, true_value):
+        rng = self._rng("bb", instance, node, receiver, context)
+        if rng.random() < 0.3:
+            return ("garbage", rng.getrandbits(8))
+        return true_value
+
+    def relay_value(self, instance, node, path, receiver, true_value):
+        rng = self._rng("relay", instance, node, tuple(path), receiver)
+        if rng.random() < 0.3:
+            return ("tampered", rng.getrandbits(8))
+        return true_value
+
+    def dispute_claims(self, instance, node, true_claims):
+        rng = self._rng("claims", instance, node)
+        if rng.random() < 0.5:
+            return true_claims
+        claims: Dict[str, Any] = {
+            key: dict(value) if isinstance(value, dict) else value
+            for key, value in true_claims.items()
+        }
+        received = dict(claims.get("phase1_received", {}))
+        for tree_index in list(received):
+            if rng.random() < 0.5:
+                received[tree_index] = received[tree_index] ^ rng.getrandbits(4)
+        claims["phase1_received"] = received
+        return claims

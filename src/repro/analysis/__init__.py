@@ -1,0 +1,24 @@
+"""Measurement and reporting utilities used by the examples and benchmarks.
+
+* :mod:`repro.analysis.throughput` — empirical throughput of protocol runs,
+  amortisation curves over the number of instances ``Q``, and comparison of
+  measured throughput against the analytical bounds.
+* :mod:`repro.analysis.reporting` — plain-text tables in the style of the
+  figures/claims the benchmarks regenerate (also used by EXPERIMENTS.md).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.throughput import (
+    ThroughputMeasurement,
+    amortization_curve,
+    measure_nab_throughput,
+    verify_agreement_and_validity,
+)
+
+__all__ = [
+    "ThroughputMeasurement",
+    "measure_nab_throughput",
+    "amortization_curve",
+    "verify_agreement_and_validity",
+    "format_table",
+]

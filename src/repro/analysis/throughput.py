@@ -1,0 +1,128 @@
+"""Empirical throughput measurement and amortisation analysis.
+
+Throughput is defined exactly as in the paper: ``Q`` instances of ``L``-bit
+broadcast divided by the total worst-case completion time under the link
+capacity constraints.  The helpers here run NAB (or any protocol producing
+:class:`repro.core.instance.InstanceResult`-like outputs), check the Byzantine
+broadcast specification on every instance, and report measured throughput next
+to the analytical Eq. 6 lower bound and Theorem 2 upper bound so benchmarks
+can print all three side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence
+
+from repro.capacity.bounds import CapacityAnalysis, analyse_network
+from repro.core.nab import NABRunResult, NetworkAwareBroadcast
+from repro.exceptions import AgreementViolationError
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.faults import FaultModel
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class ThroughputMeasurement:
+    """Measured throughput of a NAB run together with the analytical context.
+
+    Attributes:
+        instances: Number of instances ``Q``.
+        payload_bits: Total broadcast payload (``Q * L``).
+        total_time: Total elapsed time in time units.
+        throughput: Measured throughput ``payload_bits / total_time``.
+        dispute_control_executions: How many instances ran Phase 3.
+        analysis: The network's analytical bounds (Eq. 6 and Theorem 2).
+    """
+
+    instances: int
+    payload_bits: int
+    total_time: Fraction
+    throughput: Fraction
+    dispute_control_executions: int
+    analysis: CapacityAnalysis
+
+    def fraction_of_upper_bound(self) -> Fraction:
+        """Measured throughput as a fraction of the Theorem 2 capacity upper bound."""
+        return self.throughput / self.analysis.capacity_upper_bound
+
+
+def verify_agreement_and_validity(
+    run: NABRunResult, inputs: Sequence[bytes], source_faulty: bool
+) -> None:
+    """Assert the BB specification on every instance of a run.
+
+    Raises:
+        AgreementViolationError: if any instance violates agreement, or
+            violates validity while the source is fault-free.
+    """
+    for value, result in zip(inputs, run.instances):
+        outputs = set(result.outputs.values())
+        if len(outputs) != 1:
+            raise AgreementViolationError(
+                f"instance {result.instance}: fault-free nodes disagree ({len(outputs)} values)"
+            )
+        if not source_faulty:
+            expected = int.from_bytes(value, "big")
+            if outputs != {expected}:
+                raise AgreementViolationError(
+                    f"instance {result.instance}: validity violated "
+                    f"(agreed {outputs.pop():#x}, expected {expected:#x})"
+                )
+
+
+def measure_nab_throughput(
+    graph: NetworkGraph,
+    source: NodeId,
+    max_faults: int,
+    inputs: Sequence[bytes],
+    fault_model: FaultModel | None = None,
+    coding_seed: int = 0,
+) -> ThroughputMeasurement:
+    """Run NAB on ``inputs`` and return measured throughput plus analytical bounds."""
+    fault_model = fault_model if fault_model is not None else FaultModel()
+    nab = NetworkAwareBroadcast(
+        graph, source, max_faults, fault_model=fault_model, coding_seed=coding_seed
+    )
+    run = nab.run(list(inputs))
+    verify_agreement_and_validity(run, inputs, fault_model.is_faulty(source))
+    payload_bits = sum(8 * len(value) for value in inputs)
+    analysis = analyse_network(graph, source, max_faults)
+    total_time = run.total_elapsed if run.total_elapsed > 0 else Fraction(1)
+    return ThroughputMeasurement(
+        instances=len(inputs),
+        payload_bits=payload_bits,
+        total_time=run.total_elapsed,
+        throughput=Fraction(payload_bits) / total_time,
+        dispute_control_executions=run.dispute_control_executions,
+        analysis=analysis,
+    )
+
+
+def amortization_curve(
+    graph: NetworkGraph,
+    source: NodeId,
+    max_faults: int,
+    instance_counts: Sequence[int],
+    value_length: int = 8,
+    fault_model: FaultModel | None = None,
+) -> List[ThroughputMeasurement]:
+    """Measured throughput as a function of the number of instances ``Q``.
+
+    With a misbehaving adversary the first few instances pay for dispute
+    control; as ``Q`` grows that cost is amortised and the measured throughput
+    climbs toward the Eq. 6 bound — the curve the paper's amortisation
+    argument predicts.
+    """
+    measurements = []
+    for count in instance_counts:
+        inputs = [
+            bytes(((17 * index + offset) % 256) for offset in range(value_length))
+            for index in range(count)
+        ]
+        model = fault_model if fault_model is not None else FaultModel()
+        measurements.append(
+            measure_nab_throughput(graph, source, max_faults, inputs, fault_model=model)
+        )
+    return measurements

@@ -1,0 +1,36 @@
+"""Classical Byzantine-broadcast substrate ("Broadcast_Default" in the paper).
+
+NAB uses a previously proposed Byzantine broadcast algorithm as a black box in
+two places: to agree on the 1-bit equality-check flags (step 2.2) and to
+disseminate transcripts during dispute control (Phase 3).  The paper only
+requires that this sub-protocol be correct and have cost polynomial in ``n``
+(independent of the large input size ``L`` for the 1-bit case); its
+(in)efficiency is exactly what the amortisation argument hides.
+
+This package provides:
+
+* :class:`repro.classical.relay.DisjointPathRelay` — reliable node-to-node
+  communication over an incomplete network by sending each value along
+  ``2f + 1`` vertex-disjoint paths and taking the majority at the receiver
+  (Appendix D's complete-graph emulation).
+* :class:`repro.classical.eig.EIGBroadcast` — the Exponential Information
+  Gathering Byzantine broadcast (Pease–Shostak–Lamport style, ``f + 1``
+  rounds, correct for ``n >= 3f + 1``) running on top of the relay.
+* :class:`repro.classical.broadcast_default.BroadcastDefault` — the facade NAB
+  phases call.
+* :func:`repro.classical.flooding.classical_full_value_broadcast` — the
+  capacity-oblivious baseline that broadcasts the entire ``L``-bit input with
+  the classical algorithm, used by the NAB-vs-classical benchmark.
+"""
+
+from repro.classical.broadcast_default import BroadcastDefault
+from repro.classical.eig import EIGBroadcast
+from repro.classical.flooding import classical_full_value_broadcast
+from repro.classical.relay import DisjointPathRelay
+
+__all__ = [
+    "DisjointPathRelay",
+    "EIGBroadcast",
+    "BroadcastDefault",
+    "classical_full_value_broadcast",
+]

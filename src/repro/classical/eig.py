@@ -1,0 +1,178 @@
+"""Exponential Information Gathering (EIG) Byzantine broadcast.
+
+This is the classical ``f + 1``-round Byzantine broadcast of Pease, Shostak
+and Lamport (as presented via EIG trees, e.g. Lynch's *Distributed
+Algorithms*), correct for ``n >= 3f + 1`` on a complete communication graph.
+The paper uses such an algorithm as ``Broadcast_Default``: its per-bit cost is
+polynomial in ``n`` but independent of the bulk input size ``L``, so its cost
+amortises away for large ``L``.
+
+Communication between every ordered pair of participants travels over the
+:class:`repro.classical.relay.DisjointPathRelay`, which emulates the complete
+graph on an incomplete network with connectivity at least ``2f + 1``.
+
+Byzantine participants may send arbitrary, per-receiver-inconsistent values at
+every relaying step; the strategy hook
+:meth:`repro.transport.faults.ByzantineStrategy.broadcast_value` decides what
+they inject, keyed by the EIG label path so attacks can target specific
+rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.classical.relay import DisjointPathRelay, majority_value
+from repro.transport.network import SynchronousNetwork
+from repro.types import NodeId
+
+#: Value decided when a subtree has no strict majority.
+EIG_DEFAULT = None
+
+Label = Tuple[NodeId, ...]
+
+
+class EIGBroadcast:
+    """One Byzantine broadcast of a single value using EIG over a relay."""
+
+    def __init__(
+        self,
+        network: SynchronousNetwork,
+        participants: Sequence[NodeId],
+        max_faults: int,
+        relay: DisjointPathRelay,
+        instance: int = 0,
+    ) -> None:
+        participant_list = sorted(set(participants))
+        if len(participant_list) < 3 * max_faults + 1:
+            raise ProtocolError(
+                f"EIG requires n >= 3f + 1 participants; got n={len(participant_list)}, "
+                f"f={max_faults}"
+            )
+        missing = [node for node in participant_list if not network.graph.has_node(node)]
+        if missing:
+            raise ProtocolError(f"participants {missing} are not nodes of the network")
+        self.network = network
+        self.participants = participant_list
+        self.max_faults = max_faults
+        self.relay = relay
+        self.instance = instance
+
+    # ------------------------------------------------------------------ rounds
+
+    def broadcast(
+        self,
+        source: NodeId,
+        value: Any,
+        bit_size: int,
+        phase: str,
+        context: str = "eig",
+    ) -> Dict[NodeId, Any]:
+        """Broadcast ``value`` from ``source`` to every participant.
+
+        Returns:
+            Mapping from every *fault-free* participant to the value it
+            decides.  (Faulty participants' outputs are unconstrained and thus
+            not reported.)
+
+        Raises:
+            ProtocolError: if the source is not a participant.
+        """
+        if source not in self.participants:
+            raise ProtocolError(f"source {source} is not a participant")
+        fault_model = self.network.fault_model
+        strategy = fault_model.strategy
+        # trees[i][label] = value participant i holds for the EIG label.
+        trees: Dict[NodeId, Dict[Label, Any]] = {node: {} for node in self.participants}
+
+        # Round 1: the source sends its value to every participant.
+        root_label: Label = (source,)
+        for receiver in self.participants:
+            if receiver == source:
+                trees[receiver][root_label] = value
+                continue
+            outgoing = value
+            if fault_model.is_faulty(source):
+                outgoing = strategy.broadcast_value(
+                    self.instance, source, receiver, f"{context}|{root_label}", value
+                )
+            delivered = self.relay.reliable_send(
+                source, receiver, outgoing, bit_size, f"{phase}/round1", context
+            )
+            trees[receiver][root_label] = delivered
+
+        # Rounds 2 .. f+1: relay every label of the previous round.
+        for round_index in range(2, self.max_faults + 2):
+            previous_labels = [
+                label for label in trees[self.participants[0]] if len(label) == round_index - 1
+            ]
+            # Snapshot the values to relay before any updates this round.
+            to_relay: Dict[NodeId, Dict[Label, Any]] = {
+                node: {label: trees[node].get(label, EIG_DEFAULT) for label in previous_labels}
+                for node in self.participants
+            }
+            round_phase = f"{phase}/round{round_index}"
+            for relayer in self.participants:
+                for label in previous_labels:
+                    if relayer in label:
+                        continue
+                    new_label = label + (relayer,)
+                    held_value = to_relay[relayer][label]
+                    for receiver in self.participants:
+                        if receiver == relayer:
+                            trees[relayer][new_label] = held_value
+                            continue
+                        outgoing = held_value
+                        if fault_model.is_faulty(relayer):
+                            outgoing = strategy.broadcast_value(
+                                self.instance,
+                                relayer,
+                                receiver,
+                                f"{context}|{new_label}",
+                                held_value,
+                            )
+                        delivered = self.relay.reliable_send(
+                            relayer, receiver, outgoing, bit_size, round_phase, context
+                        )
+                        trees[receiver][new_label] = delivered
+
+        # Decision: recursive strict-majority resolution, bottom-up.
+        outputs: Dict[NodeId, Any] = {}
+        for node in self.participants:
+            if fault_model.is_faulty(node):
+                continue
+            outputs[node] = self._resolve(trees[node], root_label)
+        return outputs
+
+    def _resolve(self, tree: Dict[Label, Any], label: Label) -> Any:
+        """Resolve the decision value of ``label`` by recursive strict majority."""
+        if len(label) == self.max_faults + 1:
+            return tree.get(label, EIG_DEFAULT)
+        children = [
+            self._resolve(tree, label + (node,))
+            for node in self.participants
+            if node not in label
+        ]
+        if not children:
+            return tree.get(label, EIG_DEFAULT)
+        return majority_value(children)
+
+
+def broadcast_bit_cost(participant_count: int, max_faults: int) -> int:
+    """Number of label relays performed by one EIG broadcast (a measure of overhead).
+
+    This counts the point-to-point value transmissions at the EIG level (not
+    the per-hop relay fan-out): round 1 contributes ``n - 1`` and each later
+    round ``r`` contributes one relay per (label of length ``r - 1``, relayer
+    not in label, receiver) triple.
+    """
+    total = participant_count - 1
+    labels_previous = 1  # just (source,)
+    nodes_available = participant_count - 1
+    for _ in range(2, max_faults + 2):
+        relays = labels_previous * nodes_available
+        total += relays * (participant_count - 1)
+        labels_previous = relays
+        nodes_available -= 1
+    return total

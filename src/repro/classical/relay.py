@@ -1,0 +1,176 @@
+"""Reliable point-to-point channels over an incomplete network.
+
+Appendix D of the paper: in a network with vertex connectivity at least
+``2f + 1`` and at most ``f`` faulty nodes, reliable end-to-end communication
+from any node ``i`` to any node ``j`` is achieved by sending the same copy of
+the data along ``2f + 1`` vertex-disjoint paths and taking the majority at the
+receiver.  At most ``f`` of the paths contain a faulty intermediate node, so
+at least ``f + 1`` copies arrive unaltered and the majority is correct
+whenever the *sender* is fault-free.  (A faulty sender can, of course, inject
+whatever it wants — that is the classical BB algorithm's problem, not the
+channel's.)
+
+The relay charges every hop of every path to the accountant, so the
+polynomial-in-``n`` overhead the paper attributes to ``Broadcast_Default`` is
+measured rather than assumed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.graph.connectivity import local_connectivity, vertex_disjoint_paths
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.network import SynchronousNetwork
+from repro.types import NodeId
+
+#: Payload delivered when a majority cannot be established.
+DEFAULT_VALUE = None
+
+
+class DisjointPathRelay:
+    """Reliable unicast channels built from ``2f + 1`` vertex-disjoint paths."""
+
+    def __init__(
+        self,
+        network: SynchronousNetwork,
+        max_faults: int,
+        instance: int = 0,
+    ) -> None:
+        if max_faults < 0:
+            raise ProtocolError(f"max_faults must be non-negative, got {max_faults}")
+        self.network = network
+        self.max_faults = max_faults
+        self.instance = instance
+        self.path_count = 2 * max_faults + 1
+        self._path_cache: Dict[Tuple[NodeId, NodeId], List[List[NodeId]]] = {}
+
+    # ------------------------------------------------------------------ paths
+
+    def paths_between(self, sender: NodeId, receiver: NodeId) -> List[List[NodeId]]:
+        """The ``2f + 1`` vertex-disjoint paths used for this ordered pair (cached).
+
+        Raises:
+            ProtocolError: if the network does not contain enough disjoint
+                paths (i.e. its connectivity is below ``2f + 1``).
+        """
+        key = (sender, receiver)
+        if key not in self._path_cache:
+            graph: NetworkGraph = self.network.graph
+            if local_connectivity(graph, sender, receiver) < self.path_count:
+                raise ProtocolError(
+                    f"network connectivity between {sender} and {receiver} is below "
+                    f"2f + 1 = {self.path_count}; reliable relay impossible"
+                )
+            self._path_cache[key] = vertex_disjoint_paths(
+                graph, sender, receiver, self.path_count
+            )
+        return self._path_cache[key]
+
+    # ------------------------------------------------------------------- send
+
+    def reliable_send(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        value: Any,
+        bit_size: int,
+        phase: str,
+        context: str = "relay",
+    ) -> Any:
+        """Send ``value`` from ``sender`` to ``receiver`` over disjoint paths.
+
+        Returns the value the receiver accepts (majority over path copies).
+        Faulty intermediate nodes may corrupt the copy travelling through them
+        (via the strategy's ``relay_value`` hook); when the sender is
+        fault-free the majority is guaranteed to equal ``value``.
+        """
+        if sender == receiver:
+            return value
+        fault_model = self.network.fault_model
+        strategy = fault_model.strategy
+        copies: List[Any] = []
+        for path in self.paths_between(sender, receiver):
+            current_value = value
+            for hop_index in range(len(path) - 1):
+                hop_sender = path[hop_index]
+                hop_receiver = path[hop_index + 1]
+                if hop_index > 0 and fault_model.is_faulty(hop_sender):
+                    current_value = strategy.relay_value(
+                        self.instance, hop_sender, path, receiver, current_value
+                    )
+                self.network.send(
+                    hop_sender,
+                    hop_receiver,
+                    current_value,
+                    bit_size,
+                    phase,
+                    kind=f"{context}:hop",
+                )
+            copies.append(current_value)
+        return majority_value(copies)
+
+    def reliable_send_from_faulty(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        per_path_values: Sequence[Any],
+        bit_size: int,
+        phase: str,
+        context: str = "relay",
+    ) -> Any:
+        """Variant where a faulty sender chooses a (possibly different) value per path.
+
+        Raises:
+            ProtocolError: if the number of supplied values does not match the
+                number of paths.
+        """
+        paths = self.paths_between(sender, receiver)
+        if len(per_path_values) != len(paths):
+            raise ProtocolError(
+                f"expected {len(paths)} per-path values, got {len(per_path_values)}"
+            )
+        fault_model = self.network.fault_model
+        strategy = fault_model.strategy
+        copies: List[Any] = []
+        for path, injected in zip(paths, per_path_values):
+            current_value = injected
+            for hop_index in range(len(path) - 1):
+                hop_sender = path[hop_index]
+                hop_receiver = path[hop_index + 1]
+                if hop_index > 0 and fault_model.is_faulty(hop_sender):
+                    current_value = strategy.relay_value(
+                        self.instance, hop_sender, path, receiver, current_value
+                    )
+                self.network.send(
+                    hop_sender,
+                    hop_receiver,
+                    current_value,
+                    bit_size,
+                    phase,
+                    kind=f"{context}:hop",
+                )
+            copies.append(current_value)
+        return majority_value(copies)
+
+
+def majority_value(copies: Sequence[Any]) -> Any:
+    """Strict majority of ``copies``; :data:`DEFAULT_VALUE` when there is none.
+
+    Values are compared by equality after a canonical ``repr``-based key so
+    that unhashable payloads (lists, dicts) can participate.
+    """
+    if not copies:
+        return DEFAULT_VALUE
+    keyed: Dict[str, Any] = {}
+    counts: Counter = Counter()
+    for copy in copies:
+        key = repr(copy)
+        keyed[key] = copy
+        counts[key] += 1
+    best_key, best_count = counts.most_common(1)[0]
+    if best_count * 2 > len(copies):
+        return keyed[best_key]
+    return DEFAULT_VALUE

@@ -1,0 +1,49 @@
+"""Local linear coding: the paper's Equality Check machinery (Section 3).
+
+The heart of NAB's efficiency is the Equality Check algorithm: every node
+sends, on each outgoing link of capacity ``z_e``, ``z_e`` random linear
+combinations (over ``GF(2^(L/rho_k))``) of the ``rho_k`` symbols of the value
+it received in Phase 1, and every receiver checks the incoming coded symbols
+against its own value.  If any two fault-free nodes hold different values,
+at least one fault-free node detects a mismatch (with probability approaching
+1 in the random choice of coding matrices — Theorem 1).
+
+* :mod:`repro.coding.omega` — enumeration of the dispute-free
+  ``(n - f)``-node subgraphs ``Omega_k`` and the quantity ``U_k`` that bounds
+  the coding parameter ``rho_k <= U_k / 2``.
+* :mod:`repro.coding.coding_matrix` — deterministic (seeded) generation of the
+  per-edge coding matrices ``C_e``, which are part of the algorithm
+  specification.
+* :mod:`repro.coding.equality_check` — Algorithm 1 itself, run over the
+  synchronous network with Byzantine hooks.
+* :mod:`repro.coding.verification` — the Theorem 1 check: a coding scheme is
+  *correct* iff, for every subgraph ``H`` in ``Omega_k``, the stacked check
+  matrix ``C_H`` has full column-difference rank, so that only identical
+  values pass all checks.
+"""
+
+from repro.coding.coding_matrix import CodingScheme, generate_coding_scheme
+from repro.coding.equality_check import EqualityCheckOutcome, run_equality_check
+from repro.coding.omega import (
+    compute_rho,
+    compute_uk,
+    dispute_free_subgraphs,
+)
+from repro.coding.verification import (
+    build_check_matrix,
+    theorem1_failure_bound,
+    verify_coding_scheme,
+)
+
+__all__ = [
+    "CodingScheme",
+    "generate_coding_scheme",
+    "EqualityCheckOutcome",
+    "run_equality_check",
+    "dispute_free_subgraphs",
+    "compute_uk",
+    "compute_rho",
+    "build_check_matrix",
+    "verify_coding_scheme",
+    "theorem1_failure_bound",
+]

@@ -1,0 +1,133 @@
+"""Per-edge coding matrices ``C_e`` (part of the algorithm specification).
+
+Step 1 of Algorithm 1: for each directed edge ``e = (i, j)`` of capacity
+``z_e``, a ``rho_k x z_e`` matrix ``C_e`` over ``GF(2^(L/rho_k))`` is
+*specified as part of the algorithm*.  Node ``i`` transmits the ``z_e`` coded
+symbols ``Y_e = X_i C_e``; node ``j`` checks ``Y_e`` against ``X_j C_e``.
+
+Theorem 1 shows that drawing every entry independently and uniformly at random
+yields a *correct* set of matrices with probability at least
+``1 - 2^(-L/rho) * C(n, n-f) * (n - f - 1) * rho``, so for large symbol sizes
+a random draw is essentially always correct.  To keep the algorithm
+deterministic (a property dispute control relies on), the matrices are derived
+from an explicit seed: the same ``(seed, instance, edge)`` always produces the
+same matrix, and the seed is considered public knowledge (the adversary knows
+the algorithm).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.exceptions import ProtocolError
+from repro.gf.field import GF2m
+from repro.gf.matrix import GFMatrix
+from repro.graph.network_graph import NetworkGraph
+from repro.types import Edge
+
+
+@dataclass(frozen=True)
+class CodingScheme:
+    """The full coding specification for one equality-check execution.
+
+    Attributes:
+        field: The symbol field ``GF(2^(L / rho))``.
+        rho: Number of symbols each node's value is split into.
+        symbol_bits: Bits per symbol (``L / rho``, rounded up).
+        matrices: The per-edge coding matrices, each of shape ``rho x z_e``.
+        seed: The seed the matrices were derived from (for reproducibility).
+    """
+
+    field: GF2m
+    rho: int
+    symbol_bits: int
+    matrices: Dict[Edge, GFMatrix]
+    seed: int
+
+    def matrix_for(self, edge: Edge) -> GFMatrix:
+        """The coding matrix of a directed edge.
+
+        Raises:
+            ProtocolError: if the edge has no matrix in this scheme.
+        """
+        if edge not in self.matrices:
+            raise ProtocolError(f"no coding matrix for edge {edge}")
+        return self.matrices[edge]
+
+    def edges(self) -> Iterator[Edge]:
+        """Edges covered by the scheme, in sorted order."""
+        return iter(sorted(self.matrices))
+
+
+def _edge_rng(seed: int, instance: int, edge: Edge) -> random.Random:
+    """A deterministic RNG for one edge's matrix, independent across edges.
+
+    The mixing constants are arbitrary large primes; they only need to keep
+    distinct ``(seed, instance, edge)`` triples on distinct RNG streams.
+    """
+    mixed = (
+        seed * 1_000_000_007
+        + instance * 1_000_003
+        + edge[0] * 10_007
+        + edge[1] * 101
+    )
+    return random.Random(mixed)
+
+
+def generate_coding_scheme(
+    graph: NetworkGraph,
+    rho: int,
+    symbol_bits: int,
+    seed: int = 0,
+    instance: int = 0,
+) -> CodingScheme:
+    """Generate the per-edge coding matrices for an instance graph.
+
+    Args:
+        graph: The instance graph ``G_k`` whose edges need matrices.
+        rho: The coding parameter ``rho_k`` (rows of each matrix).
+        symbol_bits: Bits per symbol; the symbol field is ``GF(2^symbol_bits)``.
+        seed: Public seed making the scheme deterministic.
+        instance: NAB instance number, mixed into the per-edge seed so
+            successive instances use fresh matrices.
+
+    Raises:
+        ProtocolError: if ``rho`` or ``symbol_bits`` is not positive.
+    """
+    if rho < 1:
+        raise ProtocolError(f"rho must be >= 1, got {rho}")
+    if symbol_bits < 1:
+        raise ProtocolError(f"symbol_bits must be >= 1, got {symbol_bits}")
+    field = GF2m(symbol_bits)
+    matrices: Dict[Edge, GFMatrix] = {}
+    for tail, head, capacity in graph.edges():
+        rng = _edge_rng(seed, instance, (tail, head))
+        matrices[(tail, head)] = GFMatrix.random(field, rho, capacity, rng)
+    return CodingScheme(
+        field=field, rho=rho, symbol_bits=symbol_bits, matrices=matrices, seed=seed
+    )
+
+
+def encode_value(scheme: CodingScheme, symbols: Tuple[int, ...] | list, edge: Edge) -> list:
+    """Compute the coded symbols ``Y_e = X C_e`` a node sends on ``edge``.
+
+    Args:
+        scheme: The coding scheme in force.
+        symbols: The node's value as a length-``rho`` symbol vector ``X``.
+        edge: The outgoing directed edge.
+
+    Returns:
+        A list of ``z_e`` coded symbols.
+
+    Raises:
+        ProtocolError: if the symbol vector length does not match ``rho``.
+    """
+    if len(symbols) != scheme.rho:
+        raise ProtocolError(
+            f"value has {len(symbols)} symbols but the scheme uses rho={scheme.rho}"
+        )
+    row = GFMatrix.row_vector(scheme.field, list(symbols))
+    coded = row.matmul(scheme.matrix_for(edge))
+    return coded.row(0)

@@ -1,0 +1,152 @@
+"""Algorithm 1: the Equality Check with parameter ``rho_k``.
+
+Each node ``i`` in ``G_k`` holds an ``L``-bit value ``x_i`` from Phase 1,
+represented as a vector ``X_i`` of ``rho_k`` symbols over
+``GF(2^(L/rho_k))``.  The check proceeds in a *single* round of communication
+between adjacent nodes:
+
+1. On each outgoing edge ``e = (i, j)`` of capacity ``z_e``, node ``i`` sends
+   the ``z_e`` coded symbols ``Y_e = X_i C_e``.
+2. On each incoming edge ``d = (j, i)``, node ``i`` checks whether the
+   received vector equals ``X_i C_d``.
+3. A node whose checks all pass sets its flag to NULL, otherwise to MISMATCH.
+
+Because no node forwards packets for other nodes, a faulty node can send junk
+to its neighbours but cannot tamper with what fault-free nodes exchange — the
+"salient feature" the correctness proof leans on.  The transmission of ``z_e``
+symbols of ``L / rho_k`` bits over a link of capacity ``z_e`` takes exactly
+``L / rho_k`` time units, which is how the accountant will price this phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.coding.coding_matrix import CodingScheme, encode_value
+from repro.exceptions import ProtocolError
+from repro.gf.symbols import bits_to_symbols
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.network import SynchronousNetwork
+from repro.types import Edge, NodeId
+
+
+@dataclass(frozen=True)
+class EqualityCheckOutcome:
+    """Result of one equality-check execution.
+
+    Attributes:
+        flags: For every participating node, ``True`` if the node detected a
+            mismatch (flag = MISMATCH), ``False`` otherwise.  Faulty nodes'
+            entries reflect what the protocol at that node would compute; what
+            they *announce* in step 2.2 is decided separately.
+        sent_vectors: The coded symbol vectors actually transmitted on each
+            edge (post Byzantine interference), for use by dispute control.
+        expected_vectors: The vectors each receiver expected on each incoming
+            edge (``X_i C_d``), also for dispute control.
+    """
+
+    flags: Dict[NodeId, bool]
+    sent_vectors: Dict[Edge, Tuple[int, ...]]
+    expected_vectors: Dict[Edge, Tuple[int, ...]]
+
+    def mismatch_detected(self) -> bool:
+        """Whether any node raised the MISMATCH flag."""
+        return any(self.flags.values())
+
+
+def value_to_symbols(value_bits: int, total_bits: int, scheme: CodingScheme) -> List[int]:
+    """Split an ``L``-bit value into the ``rho`` symbols the scheme expects.
+
+    The paper assumes ``L / rho`` is an integer; for other sizes the value is
+    left-padded (see :mod:`repro.gf.symbols`), and the symbol count is clamped
+    to exactly ``rho`` by padding with leading zero symbols if needed.
+    """
+    symbols = bits_to_symbols(value_bits, total_bits, scheme.symbol_bits)
+    if len(symbols) > scheme.rho:
+        raise ProtocolError(
+            f"value of {total_bits} bits yields {len(symbols)} symbols of "
+            f"{scheme.symbol_bits} bits, more than rho={scheme.rho}"
+        )
+    padding = [0] * (scheme.rho - len(symbols))
+    return padding + symbols
+
+
+def run_equality_check(
+    network: SynchronousNetwork,
+    instance_graph: NetworkGraph,
+    values: Mapping[NodeId, int],
+    total_bits: int,
+    scheme: CodingScheme,
+    instance: int = 0,
+    phase: str = "phase2_equality_check",
+) -> EqualityCheckOutcome:
+    """Execute Algorithm 1 on the instance graph.
+
+    Args:
+        network: The transport (time accounting + fault model).  Transmissions
+            are charged to ``phase``.
+        instance_graph: ``G_k`` — only its edges are used for the check.
+        values: The ``L``-bit value (as an integer) each node holds after
+            Phase 1.  Every node of ``instance_graph`` must have an entry.
+        total_bits: ``L``, the declared bit length of the values.
+        scheme: The coding scheme (matrices ``C_e`` for every edge of ``G_k``).
+        instance: Instance number forwarded to Byzantine strategy hooks.
+        phase: Accounting phase name.
+
+    Returns:
+        The per-node flags and the transmitted/expected vectors.
+
+    Raises:
+        ProtocolError: if a node has no value or a value does not fit in
+            ``total_bits`` bits.
+    """
+    fault_model = network.fault_model
+    strategy = fault_model.strategy
+    nodes = instance_graph.nodes()
+    for node in nodes:
+        if node not in values:
+            raise ProtocolError(f"node {node} has no Phase 1 value")
+
+    symbol_vectors: Dict[NodeId, List[int]] = {
+        node: value_to_symbols(values[node], total_bits, scheme) for node in nodes
+    }
+
+    sent_vectors: Dict[Edge, Tuple[int, ...]] = {}
+    expected_vectors: Dict[Edge, Tuple[int, ...]] = {}
+    received_vectors: Dict[Edge, Tuple[int, ...]] = {}
+
+    # Step 1: every node transmits its coded symbols on every outgoing edge.
+    for tail, head, capacity in instance_graph.edges():
+        true_vector = encode_value(scheme, symbol_vectors[tail], (tail, head))
+        outgoing: Sequence[int] = true_vector
+        if fault_model.is_faulty(tail):
+            outgoing = list(
+                strategy.equality_check_vector(instance, tail, head, true_vector)
+            )
+            if len(outgoing) != capacity:
+                raise ProtocolError(
+                    f"Byzantine strategy returned {len(outgoing)} coded symbols for an "
+                    f"edge of capacity {capacity}"
+                )
+            # Each coded symbol physically occupies symbol_bits bits on the
+            # link, so adversarial symbols are truncated to the field size.
+            outgoing = [symbol & (scheme.field.order - 1) for symbol in outgoing]
+        bits = capacity * scheme.symbol_bits
+        network.send(tail, head, tuple(outgoing), bits, phase, kind="equality_coded")
+        sent_vectors[(tail, head)] = tuple(outgoing)
+        received_vectors[(tail, head)] = tuple(outgoing)
+
+    # Step 2: every node checks each incoming edge against its own value.
+    flags: Dict[NodeId, bool] = {}
+    for node in nodes:
+        mismatch = False
+        for tail, head, _capacity in instance_graph.in_edges(node):
+            expected = tuple(encode_value(scheme, symbol_vectors[node], (tail, head)))
+            expected_vectors[(tail, head)] = expected
+            if received_vectors[(tail, head)] != expected:
+                mismatch = True
+        flags[node] = mismatch
+    return EqualityCheckOutcome(
+        flags=flags, sent_vectors=sent_vectors, expected_vectors=expected_vectors
+    )

@@ -1,0 +1,141 @@
+"""Theorem 1: verifying that a set of coding matrices is *correct*.
+
+A coding scheme is correct (property (EC)) if, whenever two fault-free nodes
+hold different values, at least one fault-free node's equality check fails.
+Appendix C reduces this to a linear-algebra condition per subgraph
+``H`` of ``Omega_k``:  writing ``D_i = X_i - X_{n-f}`` for the per-symbol
+differences and stacking the per-edge matrices ``C_e`` into the block matrix
+``C_H``, the checks inside ``H`` all pass iff ``D_H C_H = 0``.  The scheme is
+correct for ``H`` iff that implies ``D_H = 0``, i.e. iff ``C_H`` has full row
+rank ``(|H| - 1) * rho``.  (The paper exhibits an invertible submatrix built
+from undirected spanning trees; checking the rank directly is equivalent and
+is what this module does.)
+
+The module also provides the quantitative bound of Theorem 1 so benchmarks can
+compare the empirical failure rate of random schemes against
+``2^(-L/rho) * C(n, n-f) * (n - f - 1) * rho``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import comb
+from typing import Dict, List, Sequence, Tuple
+
+from repro.coding.coding_matrix import CodingScheme
+from repro.exceptions import ProtocolError
+from repro.gf.matrix import GFMatrix
+from repro.graph.network_graph import NetworkGraph
+from repro.types import NodeId
+
+
+def build_check_matrix(
+    graph: NetworkGraph,
+    subgraph_nodes: Sequence[NodeId],
+    scheme: CodingScheme,
+) -> GFMatrix:
+    """Construct ``C_H`` for the subgraph induced by ``subgraph_nodes``.
+
+    Rows are indexed by ``(node index < |H| - 1, symbol index < rho)`` —
+    i.e. by the entries of the difference vector ``D_H`` — and there is one
+    column per coded symbol sent on an edge of ``H``.  For the edge
+    ``e = (u, v)`` and its coding-matrix column ``c``:
+
+    * the block of rows belonging to ``u`` receives ``c`` (unless ``u`` is the
+      reference node, the last node of ``H``),
+    * the block of rows belonging to ``v`` receives ``-c`` (same exception),
+
+    which is exactly the expansion ``B_e`` of Appendix C (in characteristic 2,
+    ``-c = c``).
+
+    Raises:
+        ProtocolError: if the subgraph has fewer than two nodes or contains no
+            edges (then no check constrains the values at all).
+    """
+    nodes = sorted(subgraph_nodes)
+    if len(nodes) < 2:
+        raise ProtocolError("check matrix requires a subgraph with at least two nodes")
+    node_index = {node: position for position, node in enumerate(nodes)}
+    reference = nodes[-1]
+    block_count = len(nodes) - 1
+    rho = scheme.rho
+    rows = block_count * rho
+    columns: List[List[int]] = []
+    subgraph = graph.induced_subgraph(nodes)
+    for tail, head, capacity in subgraph.edges():
+        matrix = scheme.matrix_for((tail, head))
+        for column_index in range(capacity):
+            column = [0] * rows
+            coding_column = matrix.column(column_index)
+            if tail != reference:
+                base = node_index[tail] * rho
+                for offset in range(rho):
+                    column[base + offset] ^= coding_column[offset]
+            if head != reference:
+                base = node_index[head] * rho
+                for offset in range(rho):
+                    column[base + offset] ^= coding_column[offset]
+            columns.append(column)
+    if not columns:
+        raise ProtocolError("subgraph contains no edges; equality check cannot constrain it")
+    data = [[columns[c][r] for c in range(len(columns))] for r in range(rows)]
+    return GFMatrix(scheme.field, data)
+
+
+def subgraph_is_constrained(
+    graph: NetworkGraph,
+    subgraph_nodes: Sequence[NodeId],
+    scheme: CodingScheme,
+) -> bool:
+    """Whether ``C_H`` has full row rank for the given subgraph.
+
+    Full row rank means the only difference vector passing every check is
+    zero, i.e. the equality check is sound for this potential fault-free set.
+    """
+    matrix = build_check_matrix(graph, subgraph_nodes, scheme)
+    return matrix.rank() == matrix.rows
+
+
+def verify_coding_scheme(
+    graph: NetworkGraph,
+    omega_subgraphs: Sequence[Tuple[NodeId, ...]],
+    scheme: CodingScheme,
+) -> Dict[Tuple[NodeId, ...], bool]:
+    """Check property (EC) for every subgraph of ``Omega_k``.
+
+    Returns:
+        Mapping from subgraph node tuple to whether its check matrix has full
+        rank.  The scheme is correct iff every value is ``True``.
+    """
+    return {
+        tuple(nodes): subgraph_is_constrained(graph, nodes, scheme)
+        for nodes in omega_subgraphs
+    }
+
+
+def scheme_is_correct(
+    graph: NetworkGraph,
+    omega_subgraphs: Sequence[Tuple[NodeId, ...]],
+    scheme: CodingScheme,
+) -> bool:
+    """Whether the coding scheme satisfies property (EC) for all of ``Omega_k``."""
+    return all(verify_coding_scheme(graph, omega_subgraphs, scheme).values())
+
+
+def theorem1_failure_bound(
+    node_count: int, max_faults: int, rho: int, symbol_bits: int
+) -> Fraction:
+    """The paper's upper bound on the probability that a random scheme is *not* correct.
+
+    Theorem 1: correctness holds with probability at least
+    ``1 - 2^(-L/rho) * C(n, n-f) * (n - f - 1) * rho``; this function returns
+    the complementary bound (clamped to 1), i.e.
+    ``min(1, C(n, n-f) * (n - f - 1) * rho / 2^symbol_bits)``.
+    """
+    if node_count < 1 or max_faults < 0 or rho < 1 or symbol_bits < 1:
+        raise ProtocolError("invalid Theorem 1 parameters")
+    bound = Fraction(
+        comb(node_count, node_count - max_faults) * (node_count - max_faults - 1) * rho,
+        2**symbol_bits,
+    )
+    return min(bound, Fraction(1))

@@ -1,0 +1,229 @@
+"""One NAB instance: the three phases glued together with time accounting.
+
+The orchestration mirrors Section 2 of the paper, including its two special
+cases:
+
+* if the source is no longer in ``G_k`` (it has been identified as faulty),
+  all fault-free nodes adopt a default output and the instance costs nothing;
+* if the source is in ``G_k`` but at least ``f`` other nodes have been
+  excluded, every remaining node is fault-free and Phase 1 alone suffices.
+
+The per-phase costs follow Appendix D: Phase 1 costs ``~L / gamma_k``, the
+Equality Check ``~L / rho_k``, the 1-bit flag broadcasts a (measured)
+polynomial-in-``n`` amount independent of ``L``, and dispute control a large
+``L``-dependent amount that is incurred at most ``f (f + 1)`` times across a
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+from repro.coding.coding_matrix import generate_coding_scheme
+from repro.core.dispute_state import DisputeState
+from repro.core.parameters import InstanceParameters, compute_instance_parameters
+from repro.core.phase1_broadcast import run_phase1
+from repro.core.phase2_equality import run_phase2
+from repro.core.phase3_dispute import DEFAULT_OUTPUT, run_phase3
+from repro.exceptions import ProtocolError
+from repro.gf.symbols import symbol_size_for
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.faults import FaultModel
+from repro.transport.network import SynchronousNetwork
+from repro.types import NodeId, PhaseTiming
+
+
+@dataclass(frozen=True)
+class InstanceResult:
+    """Everything one NAB instance produced.
+
+    Attributes:
+        instance: The instance index ``k`` (0-based).
+        outputs: Output value (integer of ``L`` bits) of every fault-free node.
+        elapsed: Total elapsed time of the instance in time units.
+        bits_sent: Total bits sent on all links.
+        phase_timings: Per-phase breakdown.
+        parameters: ``gamma_k`` / ``U_k`` / ``rho_k`` used (``None`` for the
+            default-output special case).
+        dispute_control_ran: Whether Phase 3 executed.
+        new_disputes: Disputed pairs discovered by this instance.
+        newly_identified_faulty: Faulty nodes identified by this instance.
+        mismatch_announced: Whether any node announced MISMATCH in step 2.2.
+    """
+
+    instance: int
+    outputs: Dict[NodeId, int]
+    elapsed: Fraction
+    bits_sent: int
+    phase_timings: Tuple[PhaseTiming, ...]
+    parameters: Optional[InstanceParameters]
+    dispute_control_ran: bool
+    new_disputes: Tuple[frozenset, ...]
+    newly_identified_faulty: Tuple[NodeId, ...]
+    mismatch_announced: bool
+
+    def agreed_value(self) -> int:
+        """The common output of the fault-free nodes.
+
+        Raises:
+            ProtocolError: if they do not agree (which would indicate a bug —
+                NAB guarantees agreement).
+        """
+        values = set(self.outputs.values())
+        if len(values) != 1:
+            raise ProtocolError(f"fault-free nodes disagree: {sorted(values)}")
+        return next(iter(values))
+
+
+class NABInstance:
+    """Executor for a single instance ``k`` of NAB."""
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        source: NodeId,
+        max_faults: int,
+        fault_model: FaultModel,
+        dispute_state: DisputeState,
+        instance: int,
+        coding_seed: int = 0,
+    ) -> None:
+        self.graph = graph
+        self.source = source
+        self.max_faults = max_faults
+        self.fault_model = fault_model
+        self.dispute_state = dispute_state
+        self.instance = instance
+        self.coding_seed = coding_seed
+
+    # ----------------------------------------------------------------- running
+
+    def run(self, input_bits: int, total_bits: int) -> InstanceResult:
+        """Run the instance for the given ``L``-bit input (as an integer)."""
+        if total_bits < 1:
+            raise ProtocolError(f"total_bits must be >= 1, got {total_bits}")
+        if input_bits < 0 or input_bits >= (1 << total_bits):
+            raise ProtocolError(f"input does not fit in {total_bits} bits")
+        network = SynchronousNetwork(self.graph, self.fault_model)
+        instance_graph = self.dispute_state.instance_graph(self.graph)
+        all_nodes = self.graph.nodes()
+        fault_free = self.fault_model.fault_free(all_nodes)
+
+        # Special case 1: the source has been identified as faulty.
+        if not instance_graph.has_node(self.source):
+            outputs = {node: DEFAULT_OUTPUT for node in fault_free}
+            return self._result(network, outputs, None, False, (), (), False)
+
+        participants = instance_graph.nodes()
+        excluded = len(all_nodes) - len(participants)
+        residual_faults = max(0, self.max_faults - excluded)
+
+        parameters = compute_instance_parameters(
+            instance_graph, self.source, len(all_nodes), self.max_faults, self.dispute_state
+        )
+        scheme = generate_coding_scheme(
+            instance_graph,
+            parameters.rho,
+            symbol_size_for(total_bits, parameters.rho),
+            seed=self.coding_seed,
+            instance=self.instance,
+        )
+
+        phase1 = run_phase1(
+            network,
+            instance_graph,
+            self.source,
+            input_bits,
+            total_bits,
+            parameters.gamma,
+            instance=self.instance,
+        )
+
+        # Special case 2: at least f nodes excluded -> everyone left is
+        # fault-free and Phase 1 alone is reliable.
+        if excluded >= self.max_faults:
+            outputs = {
+                node: phase1.values[node]
+                for node in fault_free
+                if node in phase1.values
+            }
+            return self._result(network, outputs, parameters, False, (), (), False)
+
+        phase2 = run_phase2(
+            network,
+            instance_graph,
+            phase1.values,
+            total_bits,
+            scheme,
+            participants,
+            residual_faults,
+            self.max_faults,
+            instance=self.instance,
+        )
+
+        if not phase2.mismatch_announced:
+            outputs = {
+                node: phase1.values[node]
+                for node in fault_free
+                if node in phase1.values
+            }
+            return self._result(network, outputs, parameters, False, (), (), False)
+
+        phase3 = run_phase3(
+            network,
+            instance_graph,
+            self.source,
+            input_bits,
+            total_bits,
+            phase1,
+            phase2.check,
+            phase2.announced_flags,
+            scheme,
+            participants,
+            residual_faults,
+            self.max_faults,
+            instance=self.instance,
+        )
+        # Update the shared dispute state (all fault-free nodes do this
+        # identically because the claims table is agreed via Byzantine
+        # broadcast).
+        self.dispute_state.add_disputes(phase3.new_disputes)
+        for node in phase3.identified_faulty:
+            self.dispute_state.mark_faulty(node)
+        outputs = {node: phase3.output_bits for node in fault_free}
+        return self._result(
+            network,
+            outputs,
+            parameters,
+            True,
+            phase3.new_disputes,
+            phase3.identified_faulty,
+            True,
+        )
+
+    # ----------------------------------------------------------------- helpers
+
+    def _result(
+        self,
+        network: SynchronousNetwork,
+        outputs: Dict[NodeId, int],
+        parameters: Optional[InstanceParameters],
+        dispute_control_ran: bool,
+        new_disputes,
+        identified_faulty,
+        mismatch_announced: bool,
+    ) -> InstanceResult:
+        return InstanceResult(
+            instance=self.instance,
+            outputs=outputs,
+            elapsed=network.elapsed_time(),
+            bits_sent=network.total_bits(),
+            phase_timings=network.accountant.phase_timings(),
+            parameters=parameters,
+            dispute_control_ran=dispute_control_ran,
+            new_disputes=tuple(new_disputes),
+            newly_identified_faulty=tuple(identified_faulty),
+            mismatch_announced=mismatch_announced,
+        )

@@ -1,0 +1,153 @@
+"""The public NAB entry point: repeated Byzantine broadcast with amortised dispute control.
+
+:class:`NetworkAwareBroadcast` runs a sequence of NAB instances on one
+network, carrying the dispute state from instance to instance exactly as the
+paper prescribes.  It accepts inputs as byte strings (the natural application
+interface) and reports per-instance results plus aggregate throughput,
+measured in bits per time unit under the link-capacity model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.dispute_state import DisputeState
+from repro.core.instance import InstanceResult, NABInstance
+from repro.exceptions import ProtocolError
+from repro.graph.connectivity import meets_connectivity_requirement
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.faults import FaultModel
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class NABRunResult:
+    """Aggregate result of running ``Q`` NAB instances.
+
+    Attributes:
+        instances: Per-instance results, in execution order.
+        total_elapsed: Sum of per-instance elapsed times.
+        total_bits: Sum of bits sent on all links across all instances.
+        throughput: ``(Q * L) / total_elapsed`` in bits per time unit
+            (``None`` if no time elapsed).
+        dispute_control_executions: How many instances ran Phase 3.
+    """
+
+    instances: Tuple[InstanceResult, ...]
+    total_elapsed: Fraction
+    total_bits: int
+    throughput: Fraction | None
+    dispute_control_executions: int
+
+    def outputs_per_instance(self) -> List[Dict[NodeId, int]]:
+        """The fault-free outputs of every instance, in order."""
+        return [dict(result.outputs) for result in self.instances]
+
+
+class NetworkAwareBroadcast:
+    """Runs NAB repeatedly on a fixed network with a fixed (unknown) faulty set.
+
+    Args:
+        graph: The point-to-point network ``G`` with link capacities.
+        source: The broadcasting node (the paper uses node 1).
+        max_faults: The resilience parameter ``f``; requires
+            ``n >= 3f + 1`` and network connectivity ``>= 2f + 1``.
+        fault_model: Which nodes actually are Byzantine and how they behave.
+            Defaults to no faults.
+        coding_seed: Public seed for the coding matrices (part of the
+            algorithm specification).
+        validate_connectivity: Set to ``False`` to skip the (vertex-
+            connectivity) precondition check, e.g. for deliberately invalid
+            networks in experiments.
+
+    Raises:
+        ProtocolError: if the preconditions on ``n``, ``f``, the source or the
+            connectivity are violated.
+    """
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        source: NodeId,
+        max_faults: int,
+        fault_model: FaultModel | None = None,
+        coding_seed: int = 0,
+        validate_connectivity: bool = True,
+    ) -> None:
+        if not graph.has_node(source):
+            raise ProtocolError(f"source {source} is not a node of the network")
+        if max_faults < 0:
+            raise ProtocolError(f"max_faults must be non-negative, got {max_faults}")
+        node_count = graph.node_count()
+        if node_count < 3 * max_faults + 1:
+            raise ProtocolError(
+                f"n={node_count} violates n >= 3f + 1 for f={max_faults}"
+            )
+        if validate_connectivity and not meets_connectivity_requirement(graph, max_faults):
+            raise ProtocolError(
+                f"network connectivity is below 2f + 1 = {2 * max_faults + 1}"
+            )
+        self.graph = graph if graph.is_frozen else graph.copy().freeze()
+        self.source = source
+        self.max_faults = max_faults
+        self.fault_model = fault_model if fault_model is not None else FaultModel()
+        self.fault_model.validate_for(node_count, max_faults)
+        self.coding_seed = coding_seed
+        self.dispute_state = DisputeState(max_faults)
+        self._instances_run = 0
+
+    # ----------------------------------------------------------------- running
+
+    def run_instance(self, value: bytes) -> InstanceResult:
+        """Run one NAB instance broadcasting ``value`` (``L = 8 * len(value)`` bits)."""
+        if not value:
+            raise ProtocolError("the broadcast value must contain at least one byte")
+        total_bits = 8 * len(value)
+        input_bits = int.from_bytes(value, "big")
+        executor = NABInstance(
+            self.graph,
+            self.source,
+            self.max_faults,
+            self.fault_model,
+            self.dispute_state,
+            instance=self._instances_run,
+            coding_seed=self.coding_seed,
+        )
+        result = executor.run(input_bits, total_bits)
+        self._instances_run += 1
+        return result
+
+    def run(self, values: Sequence[bytes]) -> NABRunResult:
+        """Run one instance per value and aggregate timings and throughput."""
+        if not values:
+            raise ProtocolError("at least one value is required")
+        results = [self.run_instance(value) for value in values]
+        total_elapsed = sum((result.elapsed for result in results), Fraction(0))
+        total_bits = sum(result.bits_sent for result in results)
+        if total_elapsed > 0:
+            payload_bits = sum(8 * len(value) for value in values)
+            throughput: Fraction | None = Fraction(payload_bits) / total_elapsed
+        else:
+            throughput = None
+        return NABRunResult(
+            instances=tuple(results),
+            total_elapsed=total_elapsed,
+            total_bits=total_bits,
+            throughput=throughput,
+            dispute_control_executions=sum(
+                1 for result in results if result.dispute_control_ran
+            ),
+        )
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def instances_run(self) -> int:
+        """How many instances have been executed so far."""
+        return self._instances_run
+
+    def current_instance_graph(self) -> NetworkGraph:
+        """The graph ``G_k`` the next instance would run on."""
+        return self.dispute_state.instance_graph(self.graph)

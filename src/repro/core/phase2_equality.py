@@ -1,0 +1,142 @@
+"""Phase 2: the Equality Check and Byzantine agreement on its outcome.
+
+Step 2.1 runs Algorithm 1 (:mod:`repro.coding.equality_check`) on the instance
+graph with parameter ``rho_k``.  Step 2.2 then has every node broadcast its
+1-bit MISMATCH/NULL flag to the other participants with the classical
+Byzantine broadcast (:class:`repro.classical.BroadcastDefault`), so that all
+fault-free nodes agree on the *set* of announced flags and hence on whether
+Phase 3 must run.  Faulty nodes may announce a flag unrelated to what their
+check computed (hook ``equality_check_flag``); announcing a spurious MISMATCH
+merely triggers (expensive but correct) dispute control, while suppressing a
+genuine MISMATCH cannot hide a disagreement between *fault-free* nodes because
+at least one fault-free node also detects it (property (EC)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.classical.broadcast_default import BroadcastDefault
+from repro.coding.coding_matrix import CodingScheme
+from repro.coding.equality_check import EqualityCheckOutcome, run_equality_check
+from repro.exceptions import ProtocolError
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.network import SynchronousNetwork
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class Phase2Result:
+    """Outcome of Phase 2.
+
+    Attributes:
+        check: The raw equality-check outcome (flags as computed locally,
+            transmitted/expected coded vectors).
+        announced_flags: The flag value of every participant *as agreed by all
+            fault-free nodes* through the classical broadcast of step 2.2.
+        mismatch_announced: Whether any announced flag is MISMATCH, i.e.
+            whether Phase 3 must be performed.
+    """
+
+    check: EqualityCheckOutcome
+    announced_flags: Dict[NodeId, bool]
+    mismatch_announced: bool
+
+
+def run_phase2(
+    network: SynchronousNetwork,
+    instance_graph: NetworkGraph,
+    values: Mapping[NodeId, int],
+    total_bits: int,
+    scheme: CodingScheme,
+    participants: Sequence[NodeId],
+    participant_faults: int,
+    relay_faults: int,
+    instance: int = 0,
+    equality_phase: str = "phase2_equality_check",
+    flags_phase: str = "phase2_flag_broadcast",
+) -> Phase2Result:
+    """Execute Phase 2 (equality check + flag agreement).
+
+    Args:
+        network: Transport over the full network ``G`` (relay paths may leave
+            ``G_k``).
+        instance_graph: ``G_k`` — only its links carry coded symbols.
+        values: Each participant's Phase 1 value.
+        total_bits: ``L``.
+        scheme: Coding scheme for this instance.
+        participants: ``V_k``.
+        participant_faults: Residual fault bound among the participants.
+        relay_faults: Fault bound for the disjoint-path relay (the original
+            ``f`` — excluded faulty nodes can still corrupt relay paths).
+        instance: Instance number forwarded to Byzantine hooks.
+        equality_phase: Accounting phase for the coded-symbol round.
+        flags_phase: Accounting phase for the 1-bit flag broadcasts.
+    """
+    check = run_equality_check(
+        network,
+        instance_graph,
+        values,
+        total_bits,
+        scheme,
+        instance=instance,
+        phase=equality_phase,
+    )
+    fault_model = network.fault_model
+    strategy = fault_model.strategy
+    flags_to_announce: Dict[NodeId, bool] = {}
+    for node in participants:
+        true_flag = check.flags.get(node, False)
+        if fault_model.is_faulty(node):
+            flags_to_announce[node] = bool(
+                strategy.equality_check_flag(instance, node, true_flag)
+            )
+        else:
+            flags_to_announce[node] = true_flag
+
+    broadcaster = BroadcastDefault(
+        network,
+        participants,
+        participant_faults,
+        instance=instance,
+        relay_max_faults=relay_faults,
+    )
+    per_receiver = broadcaster.broadcast_from_all(
+        flags_to_announce, bit_size=1, phase=flags_phase, context="equality_flag"
+    )
+    announced = _agreed_flag_vector(per_receiver, participants)
+    return Phase2Result(
+        check=check,
+        announced_flags=announced,
+        mismatch_announced=any(announced.values()),
+    )
+
+
+def _agreed_flag_vector(
+    per_receiver: Dict[NodeId, Dict[NodeId, object]],
+    participants: Sequence[NodeId],
+) -> Dict[NodeId, bool]:
+    """Collapse the per-receiver flag vectors into the single agreed vector.
+
+    Agreement of the classical broadcast guarantees every fault-free receiver
+    holds the same vector; this helper verifies that (as a sanity check on the
+    substrate) and normalises non-boolean junk announced by faulty nodes to
+    ``True``/``False`` (anything that is not exactly ``False``/``None`` counts
+    as a MISMATCH announcement, which is the conservative reading).
+    """
+    if not per_receiver:
+        raise ProtocolError("no fault-free receiver observed the flag broadcast")
+    vectors = [tuple(sorted(vector.items(), key=lambda kv: kv[0])) for vector in per_receiver.values()]
+    reference = vectors[0]
+    for other in vectors[1:]:
+        if other != reference:
+            raise ProtocolError(
+                "fault-free nodes disagree on announced flags; classical broadcast violated"
+            )
+    agreed: Dict[NodeId, bool] = {}
+    reference_vector = dict(reference)
+    for node in participants:
+        value = reference_vector.get(node)
+        agreed[node] = bool(value) if value is not None else False
+    return agreed

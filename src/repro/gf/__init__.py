@@ -1,0 +1,33 @@
+"""Finite-field substrate: exact arithmetic over ``GF(2^m)``.
+
+The equality-check algorithm of the paper operates on symbols drawn from
+``GF(2^(L / rho_k))`` where ``L`` is the broadcast input size in bits.  Because
+``L`` can be large, the field degree is not bounded by machine-word sizes;
+this package therefore implements table-free, exact arithmetic on Python
+integers interpreted as polynomials over GF(2).
+
+Public surface:
+
+* :class:`repro.gf.field.GF2m` — a field of characteristic 2 and arbitrary
+  degree ``m >= 1``.
+* :class:`repro.gf.matrix.GFMatrix` — dense matrices over such a field with
+  multiplication, rank, determinant, inversion, solving, and random sampling.
+* :mod:`repro.gf.polynomials` — irreducible-polynomial tables and search.
+* :mod:`repro.gf.symbols` — packing of bit strings into symbol vectors and
+  back, as used to split an ``L``-bit value into ``rho`` field symbols.
+"""
+
+from repro.gf.field import GF2m
+from repro.gf.matrix import GFMatrix
+from repro.gf.polynomials import irreducible_polynomial, is_irreducible
+from repro.gf.symbols import bits_to_symbols, bytes_to_symbols, symbols_to_bytes
+
+__all__ = [
+    "GF2m",
+    "GFMatrix",
+    "irreducible_polynomial",
+    "is_irreducible",
+    "bits_to_symbols",
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+]

@@ -1,0 +1,217 @@
+"""The binary extension field ``GF(2^m)``.
+
+Elements are represented as plain Python integers in ``[0, 2^m)`` interpreted
+as polynomials over GF(2) reduced modulo a fixed irreducible polynomial of
+degree ``m``.  Keeping elements as bare integers (rather than wrapping each in
+an object) keeps matrix algebra over the field reasonably fast in pure Python
+and makes (de)serialisation to bit strings trivial, which is exactly what the
+equality-check protocol needs.
+
+Example:
+    >>> field = GF2m(8)
+    >>> field.mul(0x53, 0xCA)      # AES field uses a different modulus, value differs
+    ... # doctest: +SKIP
+    >>> field.mul(field.inv(7), 7)
+    1
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import FieldError
+from repro.gf.polynomials import (
+    irreducible_polynomial,
+    is_irreducible,
+    poly_degree,
+    poly_divmod,
+    poly_mod,
+    poly_mul,
+)
+
+
+class GF2m:
+    """The finite field with ``2^m`` elements.
+
+    Args:
+        degree: The extension degree ``m >= 1``.
+        modulus: Optional irreducible polynomial of degree ``m`` (encoded as an
+            integer bit mask).  If omitted, a deterministic low-weight
+            irreducible polynomial is used, so two ``GF2m(m)`` instances are
+            always the *same* field and interoperable.
+
+    Raises:
+        FieldError: if the degree is not positive or the supplied modulus is
+            not an irreducible polynomial of the requested degree.
+    """
+
+    __slots__ = ("degree", "modulus", "order", "_mask")
+
+    def __init__(self, degree: int, modulus: int | None = None) -> None:
+        if degree < 1:
+            raise FieldError(f"field degree must be >= 1, got {degree}")
+        if modulus is None:
+            modulus = irreducible_polynomial(degree)
+        else:
+            if poly_degree(modulus) != degree:
+                raise FieldError(
+                    f"modulus degree {poly_degree(modulus)} does not match field degree {degree}"
+                )
+            if not is_irreducible(modulus):
+                raise FieldError(f"modulus {modulus:#x} is not irreducible")
+        self.degree = degree
+        self.modulus = modulus
+        self.order = 1 << degree
+        self._mask = self.order - 1
+
+    # ------------------------------------------------------------------ basics
+
+    def validate(self, element: int) -> int:
+        """Return ``element`` unchanged after checking it lies in the field.
+
+        Raises:
+            FieldError: if ``element`` is not an integer in ``[0, 2^m)``.
+        """
+        if not isinstance(element, int) or isinstance(element, bool):
+            raise FieldError(f"field elements must be ints, got {type(element).__name__}")
+        if element < 0 or element >= self.order:
+            raise FieldError(f"element {element} outside field of order {self.order}")
+        return element
+
+    def zero(self) -> int:
+        """The additive identity."""
+        return 0
+
+    def one(self) -> int:
+        """The multiplicative identity."""
+        return 1
+
+    # -------------------------------------------------------------- arithmetic
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (bitwise XOR)."""
+        return a ^ b
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction; identical to addition in characteristic 2."""
+        return a ^ b
+
+    def neg(self, a: int) -> int:
+        """Additive inverse; every element is its own negative."""
+        return a
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication: carry-less product reduced by the modulus."""
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        return poly_mod(poly_mul(a, b), self.modulus)
+
+    def square(self, a: int) -> int:
+        """Field squaring (a special case of :meth:`mul`)."""
+        return self.mul(a, a)
+
+    def pow(self, base: int, exponent: int) -> int:
+        """Raise ``base`` to an integer ``exponent`` (which may be negative).
+
+        Raises:
+            FieldError: if the base is zero and the exponent is negative.
+        """
+        if exponent < 0:
+            base = self.inv(base)
+            exponent = -exponent
+        result = 1
+        base = base
+        while exponent:
+            if exponent & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            exponent >>= 1
+        return result
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via the extended Euclidean algorithm.
+
+        Raises:
+            FieldError: if ``a`` is zero.
+        """
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        # Extended Euclid on polynomials: maintain r = s * a + t * modulus.
+        r_prev, r_curr = self.modulus, a
+        s_prev, s_curr = 0, 1
+        while r_curr != 0:
+            quotient, remainder = poly_divmod(r_prev, r_curr)
+            r_prev, r_curr = r_curr, remainder
+            s_prev, s_curr = s_curr, s_prev ^ poly_mul(quotient, s_curr)
+        # r_prev is the gcd, necessarily 1 since the modulus is irreducible.
+        return poly_mod(s_prev, self.modulus)
+
+    def div(self, a: int, b: int) -> int:
+        """Field division ``a / b``.
+
+        Raises:
+            FieldError: if ``b`` is zero.
+        """
+        return self.mul(a, self.inv(b))
+
+    # ------------------------------------------------------------------ vectors
+
+    def dot(self, left: Sequence[int], right: Sequence[int]) -> int:
+        """Inner product of two equal-length vectors of field elements.
+
+        Raises:
+            MatrixError-like ValueError: if the lengths differ.
+        """
+        if len(left) != len(right):
+            raise FieldError(f"dot product length mismatch: {len(left)} vs {len(right)}")
+        accumulator = 0
+        for a, b in zip(left, right):
+            accumulator ^= self.mul(a, b)
+        return accumulator
+
+    def vector_add(self, left: Sequence[int], right: Sequence[int]) -> List[int]:
+        """Component-wise sum of two equal-length vectors."""
+        if len(left) != len(right):
+            raise FieldError(f"vector sum length mismatch: {len(left)} vs {len(right)}")
+        return [a ^ b for a, b in zip(left, right)]
+
+    def scalar_mul(self, scalar: int, vector: Iterable[int]) -> List[int]:
+        """Multiply every component of ``vector`` by ``scalar``."""
+        return [self.mul(scalar, component) for component in vector]
+
+    # ------------------------------------------------------------------ random
+
+    def random_element(self, rng: random.Random) -> int:
+        """Draw an element uniformly at random using the supplied RNG."""
+        return rng.getrandbits(self.degree) & self._mask
+
+    def random_nonzero(self, rng: random.Random) -> int:
+        """Draw a uniformly random non-zero element."""
+        while True:
+            element = self.random_element(rng)
+            if element != 0:
+                return element
+
+    def random_vector(self, length: int, rng: random.Random) -> List[int]:
+        """Draw a vector of ``length`` independent uniform elements."""
+        return [self.random_element(rng) for _ in range(length)]
+
+    # ------------------------------------------------------------------ dunder
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF2m)
+            and other.degree == self.degree
+            and other.modulus == self.modulus
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.degree, self.modulus))
+
+    def __repr__(self) -> str:
+        return f"GF2m(degree={self.degree}, modulus={self.modulus:#x})"

@@ -1,0 +1,318 @@
+"""Dense matrices over ``GF(2^m)``.
+
+The equality-check machinery of the paper is pure linear algebra over a binary
+extension field: per-edge coding matrices ``C_e``, their block expansions
+``B_e`` and ``C_H``, and the rank / invertibility arguments of Appendix C.
+This module provides the dense-matrix toolkit those computations need —
+multiplication, transpose, horizontal/vertical stacking, Gaussian elimination
+(rank, determinant, inverse, solving), and random sampling.
+
+Matrices are stored as lists of row lists of plain integers, the same element
+representation used by :class:`repro.gf.field.GF2m`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from repro.exceptions import MatrixError
+from repro.gf.field import GF2m
+
+
+class GFMatrix:
+    """A dense ``rows x cols`` matrix over a :class:`GF2m` field.
+
+    Instances are immutable from the caller's point of view: all operations
+    return new matrices.  Construction validates that every entry lies in the
+    field and that the rows are rectangular.
+    """
+
+    __slots__ = ("field", "rows", "cols", "_data")
+
+    def __init__(self, field: GF2m, data: Sequence[Sequence[int]]) -> None:
+        rows = [list(row) for row in data]
+        if not rows or not rows[0]:
+            raise MatrixError("matrices must have at least one row and one column")
+        width = len(rows[0])
+        for row in rows:
+            if len(row) != width:
+                raise MatrixError("ragged rows: all rows must have the same length")
+            for entry in row:
+                field.validate(entry)
+        self.field = field
+        self.rows = len(rows)
+        self.cols = width
+        self._data = rows
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def zeros(cls, field: GF2m, rows: int, cols: int) -> "GFMatrix":
+        """An all-zero matrix of the given shape."""
+        if rows < 1 or cols < 1:
+            raise MatrixError(f"invalid shape ({rows}, {cols})")
+        return cls(field, [[0] * cols for _ in range(rows)])
+
+    @classmethod
+    def identity(cls, field: GF2m, size: int) -> "GFMatrix":
+        """The ``size x size`` identity matrix."""
+        if size < 1:
+            raise MatrixError(f"identity size must be >= 1, got {size}")
+        return cls(field, [[1 if r == c else 0 for c in range(size)] for r in range(size)])
+
+    @classmethod
+    def from_rows(cls, field: GF2m, rows: Sequence[Sequence[int]]) -> "GFMatrix":
+        """Alias of the constructor, for readability at call sites."""
+        return cls(field, rows)
+
+    @classmethod
+    def row_vector(cls, field: GF2m, entries: Sequence[int]) -> "GFMatrix":
+        """A ``1 x n`` matrix from a sequence of entries."""
+        return cls(field, [list(entries)])
+
+    @classmethod
+    def column_vector(cls, field: GF2m, entries: Sequence[int]) -> "GFMatrix":
+        """An ``n x 1`` matrix from a sequence of entries."""
+        return cls(field, [[entry] for entry in entries])
+
+    @classmethod
+    def random(cls, field: GF2m, rows: int, cols: int, rng: random.Random) -> "GFMatrix":
+        """A matrix whose entries are independent uniform field elements."""
+        if rows < 1 or cols < 1:
+            raise MatrixError(f"invalid shape ({rows}, {cols})")
+        return cls(field, [[field.random_element(rng) for _ in range(cols)] for _ in range(rows)])
+
+    # ---------------------------------------------------------------- accessors
+
+    def entry(self, row: int, col: int) -> int:
+        """Return the entry at ``(row, col)`` (0-based)."""
+        return self._data[row][col]
+
+    def row(self, index: int) -> List[int]:
+        """Return a copy of row ``index``."""
+        return list(self._data[index])
+
+    def column(self, index: int) -> List[int]:
+        """Return a copy of column ``index``."""
+        return [row[index] for row in self._data]
+
+    def to_lists(self) -> List[List[int]]:
+        """Return the matrix contents as a list of row lists (a copy)."""
+        return [list(row) for row in self._data]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The ``(rows, cols)`` shape tuple."""
+        return (self.rows, self.cols)
+
+    def is_zero(self) -> bool:
+        """Return ``True`` iff every entry is zero."""
+        return all(entry == 0 for row in self._data for entry in row)
+
+    # --------------------------------------------------------------- operations
+
+    def _require_same_field(self, other: "GFMatrix") -> None:
+        if self.field != other.field:
+            raise MatrixError("matrices belong to different fields")
+
+    def add(self, other: "GFMatrix") -> "GFMatrix":
+        """Entry-wise sum (XOR) of two equal-shape matrices."""
+        self._require_same_field(other)
+        if self.shape != other.shape:
+            raise MatrixError(f"shape mismatch for add: {self.shape} vs {other.shape}")
+        return GFMatrix(
+            self.field,
+            [
+                [a ^ b for a, b in zip(row_a, row_b)]
+                for row_a, row_b in zip(self._data, other._data)
+            ],
+        )
+
+    def scalar_mul(self, scalar: int) -> "GFMatrix":
+        """Multiply every entry by a field scalar."""
+        self.field.validate(scalar)
+        mul = self.field.mul
+        return GFMatrix(self.field, [[mul(scalar, entry) for entry in row] for row in self._data])
+
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix product ``self @ other``.
+
+        Raises:
+            MatrixError: if the inner dimensions do not agree.
+        """
+        self._require_same_field(other)
+        if self.cols != other.rows:
+            raise MatrixError(f"shape mismatch for matmul: {self.shape} @ {other.shape}")
+        mul = self.field.mul
+        other_cols = [other.column(c) for c in range(other.cols)]
+        product = []
+        for row in self._data:
+            product_row = []
+            for col in other_cols:
+                accumulator = 0
+                for a, b in zip(row, col):
+                    if a and b:
+                        accumulator ^= mul(a, b)
+                product_row.append(accumulator)
+            product.append(product_row)
+        return GFMatrix(self.field, product)
+
+    def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
+        return self.matmul(other)
+
+    def transpose(self) -> "GFMatrix":
+        """The transposed matrix."""
+        return GFMatrix(self.field, [self.column(c) for c in range(self.cols)])
+
+    def hstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Concatenate another matrix with the same row count to the right."""
+        self._require_same_field(other)
+        if self.rows != other.rows:
+            raise MatrixError(f"hstack row mismatch: {self.rows} vs {other.rows}")
+        return GFMatrix(
+            self.field, [row_a + row_b for row_a, row_b in zip(self._data, other._data)]
+        )
+
+    def vstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Concatenate another matrix with the same column count below."""
+        self._require_same_field(other)
+        if self.cols != other.cols:
+            raise MatrixError(f"vstack column mismatch: {self.cols} vs {other.cols}")
+        return GFMatrix(self.field, self.to_lists() + other.to_lists())
+
+    def submatrix(self, row_indices: Iterable[int], col_indices: Iterable[int]) -> "GFMatrix":
+        """Extract the submatrix with the given row and column indices."""
+        row_list = list(row_indices)
+        col_list = list(col_indices)
+        if not row_list or not col_list:
+            raise MatrixError("submatrix requires at least one row and one column index")
+        return GFMatrix(
+            self.field, [[self._data[r][c] for c in col_list] for r in row_list]
+        )
+
+    # ------------------------------------------------------ Gaussian elimination
+
+    def _eliminated(self) -> tuple[List[List[int]], List[int], int]:
+        """Run Gaussian elimination; return (echelon rows, pivot columns, swaps).
+
+        The elimination is performed over a copy; the original is unchanged.
+        """
+        field = self.field
+        work = [list(row) for row in self._data]
+        pivot_cols: List[int] = []
+        swaps = 0
+        pivot_row = 0
+        for col in range(self.cols):
+            pivot = None
+            for r in range(pivot_row, self.rows):
+                if work[r][col] != 0:
+                    pivot = r
+                    break
+            if pivot is None:
+                continue
+            if pivot != pivot_row:
+                work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
+                swaps += 1
+            pivot_value = work[pivot_row][col]
+            inv_pivot = field.inv(pivot_value)
+            work[pivot_row] = [field.mul(inv_pivot, entry) for entry in work[pivot_row]]
+            for r in range(self.rows):
+                if r != pivot_row and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [
+                        entry ^ field.mul(factor, pivot_entry)
+                        for entry, pivot_entry in zip(work[r], work[pivot_row])
+                    ]
+            pivot_cols.append(col)
+            pivot_row += 1
+            if pivot_row == self.rows:
+                break
+        return work, pivot_cols, swaps
+
+    def rank(self) -> int:
+        """The rank of the matrix over the field."""
+        _, pivot_cols, _ = self._eliminated()
+        return len(pivot_cols)
+
+    def determinant(self) -> int:
+        """The determinant of a square matrix.
+
+        Raises:
+            MatrixError: if the matrix is not square.
+        """
+        if self.rows != self.cols:
+            raise MatrixError(f"determinant requires a square matrix, got {self.shape}")
+        field = self.field
+        work = [list(row) for row in self._data]
+        det = 1
+        for col in range(self.cols):
+            pivot = None
+            for r in range(col, self.rows):
+                if work[r][col] != 0:
+                    pivot = r
+                    break
+            if pivot is None:
+                return 0
+            if pivot != col:
+                work[col], work[pivot] = work[pivot], work[col]
+                # In characteristic 2, swapping rows does not change the sign.
+            pivot_value = work[col][col]
+            det = field.mul(det, pivot_value)
+            inv_pivot = field.inv(pivot_value)
+            for r in range(col + 1, self.rows):
+                if work[r][col] != 0:
+                    factor = field.mul(work[r][col], inv_pivot)
+                    work[r] = [
+                        entry ^ field.mul(factor, pivot_entry)
+                        for entry, pivot_entry in zip(work[r], work[col])
+                    ]
+        return det
+
+    def is_invertible(self) -> bool:
+        """Return ``True`` iff the matrix is square with full rank."""
+        return self.rows == self.cols and self.rank() == self.rows
+
+    def inverse(self) -> "GFMatrix":
+        """The matrix inverse.
+
+        Raises:
+            MatrixError: if the matrix is not square or is singular.
+        """
+        if self.rows != self.cols:
+            raise MatrixError(f"inverse requires a square matrix, got {self.shape}")
+        augmented = self.hstack(GFMatrix.identity(self.field, self.rows))
+        reduced, pivot_cols, _ = augmented._eliminated()
+        if pivot_cols[: self.rows] != list(range(self.rows)) or len(pivot_cols) < self.rows:
+            raise MatrixError("matrix is singular and has no inverse")
+        return GFMatrix(self.field, [row[self.cols :] for row in reduced])
+
+    def solve(self, rhs: "GFMatrix") -> "GFMatrix":
+        """Solve ``self @ X = rhs`` for a square, invertible ``self``.
+
+        Raises:
+            MatrixError: if shapes are incompatible or the matrix is singular.
+        """
+        self._require_same_field(rhs)
+        if self.rows != rhs.rows:
+            raise MatrixError(f"solve row mismatch: {self.rows} vs {rhs.rows}")
+        return self.inverse().matmul(rhs)
+
+    def null_space_dimension(self) -> int:
+        """Dimension of the right null space (``cols - rank``)."""
+        return self.cols - self.rank()
+
+    # ------------------------------------------------------------------- dunder
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GFMatrix)
+            and other.field == self.field
+            and other._data == self._data
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.field, tuple(tuple(row) for row in self._data)))
+
+    def __repr__(self) -> str:
+        return f"GFMatrix(field={self.field!r}, shape={self.shape})"

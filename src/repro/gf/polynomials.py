@@ -1,0 +1,255 @@
+"""Polynomials over GF(2) and irreducible-polynomial construction.
+
+A polynomial over GF(2) is represented as a Python integer whose bit ``i`` is
+the coefficient of ``x**i``; e.g. ``0b10011`` is ``x^4 + x + 1``.  The module
+provides the basic polynomial ring operations (carry-less multiplication,
+Euclidean division, gcd, modular exponentiation) and an irreducibility test
+based on the standard criterion
+
+    ``f`` of degree ``m`` is irreducible over GF(2)  iff
+    ``x^(2^m) == x  (mod f)``  and
+    ``gcd(x^(2^(m/p)) - x, f) == 1`` for every prime ``p`` dividing ``m``.
+
+(Rabin's irreducibility test.)  A table of low-weight irreducible polynomials
+for common degrees is included so that field construction is deterministic and
+fast for the sizes used throughout the library; degrees not in the table fall
+back to a deterministic search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.exceptions import FieldError
+
+# Low-weight (trinomial / pentanomial) irreducible polynomials over GF(2).
+# Keys are degrees; values are the full polynomial including the leading term,
+# encoded as integers.  Entries follow the standard tables (e.g. HP-HDL /
+# Seroussi "Table of low-weight binary irreducible polynomials").  Exponents
+# listed are those of the non-leading, non-constant terms.
+_LOW_WEIGHT_EXPONENTS: Dict[int, List[int]] = {
+    1: [],
+    2: [1],
+    3: [1],
+    4: [1],
+    5: [2],
+    6: [1],
+    7: [1],
+    8: [4, 3, 1],
+    9: [1],
+    10: [3],
+    11: [2],
+    12: [3],
+    13: [4, 3, 1],
+    14: [5],
+    15: [1],
+    16: [5, 3, 1],
+    17: [3],
+    18: [3],
+    19: [5, 2, 1],
+    20: [3],
+    21: [2],
+    22: [1],
+    23: [5],
+    24: [4, 3, 1],
+    25: [3],
+    26: [4, 3, 1],
+    27: [5, 2, 1],
+    28: [1],
+    29: [2],
+    30: [1],
+    31: [3],
+    32: [7, 3, 2],
+    33: [10],
+    34: [7],
+    35: [2],
+    36: [9],
+    40: [5, 4, 3],
+    48: [5, 3, 2],
+    56: [7, 4, 2],
+    64: [4, 3, 1],
+    80: [9, 4, 2],
+    96: [10, 9, 6],
+    128: [7, 2, 1],
+    160: [5, 3, 2],
+    192: [15, 11, 5],
+    256: [10, 5, 2],
+    512: [8, 5, 2],
+    1024: [19, 6, 1],
+}
+
+
+def poly_degree(poly: int) -> int:
+    """Return the degree of ``poly``; the zero polynomial has degree ``-1``."""
+    return poly.bit_length() - 1
+
+
+def poly_mul(a: int, b: int) -> int:
+    """Carry-less (XOR) multiplication of two GF(2) polynomials."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_divmod(a: int, b: int) -> tuple[int, int]:
+    """Euclidean division of polynomial ``a`` by ``b`` over GF(2).
+
+    Returns:
+        ``(quotient, remainder)`` with ``a == quotient * b xor remainder`` and
+        ``deg(remainder) < deg(b)``.
+
+    Raises:
+        FieldError: if ``b`` is the zero polynomial.
+    """
+    if b == 0:
+        raise FieldError("polynomial division by zero")
+    deg_b = poly_degree(b)
+    quotient = 0
+    remainder = a
+    while poly_degree(remainder) >= deg_b:
+        shift = poly_degree(remainder) - deg_b
+        quotient ^= 1 << shift
+        remainder ^= b << shift
+    return quotient, remainder
+
+
+def poly_mod(a: int, b: int) -> int:
+    """Return ``a mod b`` in the polynomial ring over GF(2)."""
+    return poly_divmod(a, b)[1]
+
+
+def poly_gcd(a: int, b: int) -> int:
+    """Greatest common divisor of two GF(2) polynomials (monic by nature)."""
+    while b:
+        a, b = b, poly_mod(a, b)
+    return a
+
+
+def poly_mulmod(a: int, b: int, modulus: int) -> int:
+    """Return ``a * b mod modulus`` over GF(2)."""
+    return poly_mod(poly_mul(a, b), modulus)
+
+
+def poly_powmod(base: int, exponent: int, modulus: int) -> int:
+    """Return ``base ** exponent mod modulus`` over GF(2) by square-and-multiply."""
+    result = 1
+    base = poly_mod(base, modulus)
+    while exponent:
+        if exponent & 1:
+            result = poly_mulmod(result, base, modulus)
+        base = poly_mulmod(base, base, modulus)
+        exponent >>= 1
+    return result
+
+
+def _prime_factors(n: int) -> Iterable[int]:
+    """Yield the distinct prime factors of ``n`` in increasing order."""
+    factor = 2
+    while factor * factor <= n:
+        if n % factor == 0:
+            yield factor
+            while n % factor == 0:
+                n //= factor
+        factor += 1
+    if n > 1:
+        yield n
+
+
+def is_irreducible(poly: int) -> bool:
+    """Return ``True`` iff ``poly`` is irreducible over GF(2).
+
+    Uses Rabin's irreducibility test.  Polynomials of degree 0 (constants) are
+    not considered irreducible; degree-1 polynomials always are.
+    """
+    m = poly_degree(poly)
+    if m <= 0:
+        return False
+    if m == 1:
+        return True
+    # x^(2^m) mod poly must equal x.
+    x = 0b10
+    power = x
+    for _ in range(m):
+        power = poly_mulmod(power, power, poly)
+    if power != x:
+        return False
+    # gcd(x^(2^(m/p)) - x, poly) must be 1 for every prime p | m.
+    for p in _prime_factors(m):
+        power = x
+        for _ in range(m // p):
+            power = poly_mulmod(power, power, poly)
+        if poly_gcd(power ^ x, poly) != 1:
+            return False
+    return True
+
+
+def _poly_from_exponents(degree: int, exponents: List[int]) -> int:
+    """Build ``x^degree + sum(x^e for e in exponents) + 1`` as an integer."""
+    poly = (1 << degree) | 1
+    for exponent in exponents:
+        poly |= 1 << exponent
+    return poly
+
+
+def irreducible_polynomial(degree: int) -> int:
+    """Return a deterministic irreducible polynomial of the given ``degree``.
+
+    For degrees present in the built-in low-weight table the tabulated
+    polynomial is returned (after a sanity irreducibility check, cached on
+    first use).  Other degrees are handled by a deterministic search over
+    polynomials of increasing weight, which is fast for the degrees used in
+    practice (up to a few thousand bits).
+
+    Raises:
+        FieldError: if ``degree < 1``.
+    """
+    if degree < 1:
+        raise FieldError(f"field degree must be >= 1, got {degree}")
+    cached = _IRREDUCIBLE_CACHE.get(degree)
+    if cached is not None:
+        return cached
+    if degree in _LOW_WEIGHT_EXPONENTS:
+        poly = _poly_from_exponents(degree, _LOW_WEIGHT_EXPONENTS[degree])
+        if not is_irreducible(poly):  # pragma: no cover - table sanity guard
+            raise FieldError(f"tabulated polynomial for degree {degree} is not irreducible")
+        _IRREDUCIBLE_CACHE[degree] = poly
+        return poly
+    poly = _search_irreducible(degree)
+    _IRREDUCIBLE_CACHE[degree] = poly
+    return poly
+
+
+def _search_irreducible(degree: int) -> int:
+    """Deterministically search for an irreducible polynomial of ``degree``.
+
+    Tries trinomials ``x^degree + x^k + 1`` first, then pentanomials
+    ``x^degree + x^a + x^b + x^c + 1`` in lexicographic order.  Every binary
+    field of degree ``>= 2`` admits either a trinomial or pentanomial basis in
+    all practically relevant cases; as a final fallback the search widens to
+    arbitrary odd-weight polynomials.
+    """
+    for k in range(1, degree):
+        poly = (1 << degree) | (1 << k) | 1
+        if is_irreducible(poly):
+            return poly
+    for a in range(3, degree):
+        for b in range(2, a):
+            for c in range(1, b):
+                poly = (1 << degree) | (1 << a) | (1 << b) | (1 << c) | 1
+                if is_irreducible(poly):
+                    return poly
+    # Extremely unlikely fallback: scan all polynomials with constant term 1.
+    candidate = (1 << degree) | 1
+    limit = 1 << (degree + 1)
+    while candidate < limit:  # pragma: no cover - never reached for real degrees
+        if is_irreducible(candidate):
+            return candidate
+        candidate += 2
+    raise FieldError(f"no irreducible polynomial of degree {degree} found")  # pragma: no cover
+
+
+_IRREDUCIBLE_CACHE: Dict[int, int] = {}

@@ -1,0 +1,101 @@
+"""Packing of bit strings into vectors of ``GF(2^m)`` symbols and back.
+
+The paper represents the ``L``-bit value received by node ``i`` as a vector
+``X_i`` of ``rho_k`` symbols, each of ``L / rho_k`` bits, drawn from
+``GF(2^(L / rho_k))``.  Equivalently, Phase 1 splits the value into
+``gamma_k`` symbols of ``L / gamma_k`` bits each.  This module implements both
+directions of that conversion with deterministic big-endian packing, padding
+with zero bits when ``L`` is not an exact multiple of the symbol size (the
+paper assumes divisibility "to simplify the presentation"; padding preserves
+all the relevant properties and is made explicit here).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.exceptions import FieldError
+
+
+def bits_to_symbols(value: int, total_bits: int, symbol_bits: int) -> List[int]:
+    """Split an integer of ``total_bits`` bits into symbols of ``symbol_bits`` bits.
+
+    The most significant symbol comes first.  If ``total_bits`` is not a
+    multiple of ``symbol_bits`` the value is conceptually left-padded with
+    zero bits so that the first symbol may be shorter.
+
+    Args:
+        value: The value to split; must satisfy ``0 <= value < 2**total_bits``.
+        total_bits: Declared length of the value in bits (``>= 1``).
+        symbol_bits: Size of each symbol in bits (``>= 1``).
+
+    Returns:
+        A list of ``ceil(total_bits / symbol_bits)`` integers, each in
+        ``[0, 2**symbol_bits)``.
+
+    Raises:
+        FieldError: on invalid sizes or an out-of-range value.
+    """
+    if total_bits < 1:
+        raise FieldError(f"total_bits must be >= 1, got {total_bits}")
+    if symbol_bits < 1:
+        raise FieldError(f"symbol_bits must be >= 1, got {symbol_bits}")
+    if value < 0 or value >= (1 << total_bits):
+        raise FieldError(f"value does not fit in {total_bits} bits")
+    symbol_count = -(-total_bits // symbol_bits)  # ceil division
+    mask = (1 << symbol_bits) - 1
+    symbols = []
+    for index in range(symbol_count):
+        shift = (symbol_count - 1 - index) * symbol_bits
+        symbols.append((value >> shift) & mask)
+    return symbols
+
+
+def symbols_to_bits(symbols: Sequence[int], symbol_bits: int) -> int:
+    """Inverse of :func:`bits_to_symbols`: reassemble symbols into an integer."""
+    if symbol_bits < 1:
+        raise FieldError(f"symbol_bits must be >= 1, got {symbol_bits}")
+    value = 0
+    mask = (1 << symbol_bits) - 1
+    for symbol in symbols:
+        if symbol < 0 or symbol > mask:
+            raise FieldError(f"symbol {symbol} does not fit in {symbol_bits} bits")
+        value = (value << symbol_bits) | symbol
+    return value
+
+
+def bytes_to_symbols(payload: bytes, total_bits: int, symbol_bits: int) -> List[int]:
+    """Split a byte string (big-endian) of ``total_bits`` declared bits into symbols."""
+    value = int.from_bytes(payload, "big") if payload else 0
+    if value >= (1 << total_bits):
+        raise FieldError(
+            f"payload of {len(payload)} bytes does not fit in the declared {total_bits} bits"
+        )
+    return bits_to_symbols(value, total_bits, symbol_bits)
+
+
+def symbols_to_bytes(symbols: Sequence[int], symbol_bits: int, total_bits: int) -> bytes:
+    """Reassemble symbols into a big-endian byte string of ``ceil(total_bits / 8)`` bytes."""
+    value = symbols_to_bits(symbols, symbol_bits)
+    symbol_count = len(symbols)
+    packed_bits = symbol_count * symbol_bits
+    if packed_bits < total_bits:
+        raise FieldError(
+            f"{symbol_count} symbols of {symbol_bits} bits cannot hold {total_bits} bits"
+        )
+    # Drop any left padding beyond the declared total size.
+    value &= (1 << total_bits) - 1
+    return value.to_bytes(-(-total_bits // 8), "big")
+
+
+def symbol_size_for(total_bits: int, symbol_count: int) -> int:
+    """Return the per-symbol bit size used to split ``total_bits`` into ``symbol_count`` symbols.
+
+    This is the ceiling of the division, matching the padding convention of
+    :func:`bits_to_symbols`.
+    """
+    if total_bits < 1:
+        raise FieldError(f"total_bits must be >= 1, got {total_bits}")
+    if symbol_count < 1:
+        raise FieldError(f"symbol_count must be >= 1, got {symbol_count}")
+    return -(-total_bits // symbol_count)

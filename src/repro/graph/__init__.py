@@ -1,0 +1,38 @@
+"""Capacitated-graph substrate used by every protocol in the library.
+
+The paper models the network as a synchronous point-to-point network
+``G(V, E)`` where each directed link ``e`` has a positive integer capacity
+``z_e`` (bits per unit time).  This package provides:
+
+* :class:`repro.graph.network_graph.NetworkGraph` — the directed capacitated
+  simple graph with subgraph/removal operations used by NAB's graph evolution.
+* :class:`repro.graph.undirected.UndirectedView` — the undirected graph
+  ``\\bar H`` with summed link capacities used to define ``U_k``.
+* :mod:`repro.graph.maxflow` / :mod:`repro.graph.mincut` — Dinic's max-flow and
+  the min-cut quantities ``MINCUT(G, i, j)`` and ``gamma(G, source)``.
+* :mod:`repro.graph.connectivity` — vertex connectivity and the ``2f + 1``
+  connectivity requirement, plus vertex-disjoint path extraction.
+* :mod:`repro.graph.spanning_trees` — constructive packing of capacity-disjoint
+  spanning arborescences (Phase 1's unreliable broadcast transport).
+* :mod:`repro.graph.generators` — the paper's example networks and synthetic
+  topology generators used by the workloads and benchmarks.
+"""
+
+from repro.graph.connectivity import vertex_connectivity, vertex_disjoint_paths
+from repro.graph.maxflow import max_flow_value
+from repro.graph.mincut import broadcast_mincut, min_pairwise_undirected_mincut, st_mincut
+from repro.graph.network_graph import NetworkGraph
+from repro.graph.spanning_trees import pack_arborescences
+from repro.graph.undirected import UndirectedView
+
+__all__ = [
+    "NetworkGraph",
+    "UndirectedView",
+    "max_flow_value",
+    "st_mincut",
+    "broadcast_mincut",
+    "min_pairwise_undirected_mincut",
+    "vertex_connectivity",
+    "vertex_disjoint_paths",
+    "pack_arborescences",
+]

@@ -1,0 +1,237 @@
+"""Network topology generators: the paper's example graphs and synthetic families.
+
+The paper's figures are drawings that the text describes only through the
+quantities they must exhibit; the reconstructions below are chosen to satisfy
+every stated fact:
+
+* :func:`figure1a` — a 4-node directed graph with
+  ``MINCUT(1,2) = MINCUT(1,4) = 2``, ``MINCUT(1,3) = 3`` and hence
+  ``gamma = 2``, with no link between nodes 2 and 4 (Section 3 notes those two
+  nodes can never be found in dispute because no link joins them).
+* :func:`figure1b` — the same network after nodes 2 and 3 have been found in
+  dispute (the links between them are removed).  With ``n = 4, f = 1`` the set
+  ``Omega_k`` then contains the subgraphs on ``{1, 2, 4}`` and ``{1, 3, 4}``
+  and ``U_k = 2``, exactly as the paper states.
+* :func:`figure2a` — a 4-node directed graph in which link ``(1, 2)`` has
+  capacity 2 and two unit-capacity spanning trees can be packed, both using
+  link ``(1, 2)`` (Appendix A's example); it contains the directed edges
+  ``(2, 3)``, ``(1, 4)`` and ``(4, 3)`` referenced by Appendix C's example.
+
+Synthetic families (complete, ring-with-chords, random regular-ish, bottleneck
+and layered topologies) are used by the workloads and benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.connectivity import vertex_connectivity
+from repro.graph.network_graph import NetworkGraph
+from repro.types import Edge, NodeId
+
+
+def figure1a() -> NetworkGraph:
+    """Reconstruction of the paper's Figure 1(a) example graph ``G``."""
+    return NetworkGraph.from_edges(
+        {
+            (1, 2): 2,
+            (1, 3): 2,
+            (1, 4): 1,
+            (4, 1): 1,
+            (2, 3): 1,
+            (3, 4): 1,
+        }
+    )
+
+
+def figure1b() -> NetworkGraph:
+    """Reconstruction of Figure 1(b): Figure 1(a) after a 2-3 dispute removed their links."""
+    return figure1a().remove_links_between([frozenset((2, 3))])
+
+
+def figure2a() -> NetworkGraph:
+    """Reconstruction of Figure 2(a): the directed graph used in the spanning-tree example."""
+    return NetworkGraph.from_edges(
+        {
+            (1, 2): 2,
+            (1, 4): 1,
+            (2, 3): 1,
+            (2, 4): 1,
+            (4, 3): 1,
+        }
+    )
+
+
+def figure2_tree_packing() -> List[Dict[NodeId, NodeId]]:
+    """The two unit-capacity spanning trees of Figure 2(c), as child -> parent maps.
+
+    Both trees use link ``(1, 2)``, for a combined usage of 2 units, matching
+    the capacity of that link — the property Appendix A points out.
+    """
+    tree_solid = {2: 1, 3: 2, 4: 1}
+    tree_dotted = {2: 1, 4: 2, 3: 4}
+    return [tree_solid, tree_dotted]
+
+
+def complete_graph(node_count: int, capacity: int = 1) -> NetworkGraph:
+    """A complete directed graph on ``node_count`` nodes with uniform link capacity."""
+    if node_count < 2:
+        raise GraphError(f"complete graph needs at least 2 nodes, got {node_count}")
+    graph = NetworkGraph()
+    for tail in range(1, node_count + 1):
+        for head in range(1, node_count + 1):
+            if tail != head:
+                graph.add_edge(tail, head, capacity)
+    return graph
+
+
+def ring_with_chords(node_count: int, chord_span: int = 2, capacity: int = 1) -> NetworkGraph:
+    """A bidirectional ring plus chords to nodes ``chord_span`` positions away.
+
+    The chords raise the vertex connectivity above 2, which is what makes the
+    topology usable for ``f >= 1`` (connectivity ``>= 2f + 1``).
+    """
+    if node_count < 3:
+        raise GraphError(f"ring needs at least 3 nodes, got {node_count}")
+    graph = NetworkGraph()
+    edges = set()
+    for index in range(node_count):
+        node = index + 1
+        neighbors = [((index + 1) % node_count) + 1]
+        if chord_span % node_count not in (0, 1, node_count - 1):
+            neighbors.append(((index + chord_span) % node_count) + 1)
+        for neighbor in neighbors:
+            for tail, head in ((node, neighbor), (neighbor, node)):
+                if (tail, head) not in edges and tail != head:
+                    edges.add((tail, head))
+                    graph.add_edge(tail, head, capacity)
+    return graph
+
+
+def heterogeneous_bottleneck(
+    node_count: int, fast_capacity: int, slow_capacity: int
+) -> NetworkGraph:
+    """A complete bidirectional graph where links touching the last node are slow.
+
+    This is the kind of topology the paper's introduction motivates: when link
+    capacities differ widely, capacity-oblivious BB algorithms that treat all
+    links alike are throttled by the slow links, while a network-aware
+    algorithm routes bulk data over the fast ones.
+    """
+    if node_count < 3:
+        raise GraphError(f"topology needs at least 3 nodes, got {node_count}")
+    if fast_capacity < 1 or slow_capacity < 1:
+        raise GraphError("capacities must be positive")
+    graph = NetworkGraph()
+    slow_node = node_count
+    for tail in range(1, node_count + 1):
+        for head in range(1, node_count + 1):
+            if tail == head:
+                continue
+            capacity = slow_capacity if slow_node in (tail, head) else fast_capacity
+            graph.add_edge(tail, head, capacity)
+    return graph
+
+
+def layered_pipeline(layer_count: int, layer_size: int, capacity: int = 1) -> NetworkGraph:
+    """A layered topology where the source reaches distant layers only via relays.
+
+    Node 1 is the source; layer ``i`` (``i >= 1``) contains ``layer_size``
+    nodes, each connected bidirectionally to every node of the adjacent
+    layers.  The diameter grows with ``layer_count``, which is what makes
+    propagation-delay pipelining (Figure 3) interesting.
+    """
+    if layer_count < 1 or layer_size < 1:
+        raise GraphError("layer_count and layer_size must be >= 1")
+    graph = NetworkGraph()
+    graph.add_node(1)
+    previous_layer: List[NodeId] = [1]
+    next_id = 2
+    for _ in range(layer_count):
+        current_layer = list(range(next_id, next_id + layer_size))
+        next_id += layer_size
+        for upstream in previous_layer:
+            for downstream in current_layer:
+                graph.add_edge(upstream, downstream, capacity)
+                graph.add_edge(downstream, upstream, capacity)
+        # Fully connect nodes within a layer so the layer itself is robust.
+        for a in current_layer:
+            for b in current_layer:
+                if a != b:
+                    graph.add_edge(a, b, capacity)
+        previous_layer = current_layer
+    return graph
+
+
+def random_connected_network(
+    node_count: int,
+    min_connectivity: int,
+    rng: random.Random,
+    max_capacity: int = 4,
+    extra_edge_probability: float = 0.3,
+) -> NetworkGraph:
+    """A random bidirectional network with vertex connectivity at least ``min_connectivity``.
+
+    Construction: start from a Harary-style circulant skeleton that guarantees
+    the requested connectivity, add random extra links, then assign each link
+    an independent random capacity in ``[1, max_capacity]`` (both directions of
+    a link may get different capacities, making the network genuinely
+    direction-asymmetric).
+
+    Raises:
+        GraphError: if the requested connectivity cannot be met with
+            ``node_count`` nodes.
+    """
+    if min_connectivity < 1:
+        raise GraphError("min_connectivity must be >= 1")
+    if node_count <= min_connectivity:
+        raise GraphError(
+            f"connectivity {min_connectivity} impossible with only {node_count} nodes"
+        )
+    undirected_pairs = set()
+    # Circulant skeleton: connect each node to the next ceil(min_connectivity / 2)
+    # nodes around a ring, which yields vertex connectivity >= min_connectivity
+    # (Harary graph construction).
+    span = -(-min_connectivity // 2)
+    for index in range(node_count):
+        for offset in range(1, span + 1):
+            a = index + 1
+            b = ((index + offset) % node_count) + 1
+            if a != b:
+                undirected_pairs.add(frozenset((a, b)))
+    if min_connectivity % 2 == 1 and node_count % 2 == 0:
+        # Odd connectivity on an even cycle: add diameters, as in Harary graphs.
+        half = node_count // 2
+        for index in range(half):
+            undirected_pairs.add(frozenset((index + 1, index + 1 + half)))
+    elif min_connectivity % 2 == 1 and node_count % 2 == 1:
+        # Odd node count: Harary's construction adds near-diameter chords.
+        half = node_count // 2
+        for index in range(half + 1):
+            undirected_pairs.add(frozenset((index + 1, ((index + half) % node_count) + 1)))
+    for a in range(1, node_count + 1):
+        for b in range(a + 1, node_count + 1):
+            if frozenset((a, b)) not in undirected_pairs and rng.random() < extra_edge_probability:
+                undirected_pairs.add(frozenset((a, b)))
+    graph = NetworkGraph()
+    for node in range(1, node_count + 1):
+        graph.add_node(node)
+    for pair in sorted(undirected_pairs, key=lambda p: tuple(sorted(p))):
+        a, b = sorted(pair)
+        graph.add_edge(a, b, rng.randint(1, max_capacity))
+        graph.add_edge(b, a, rng.randint(1, max_capacity))
+    if vertex_connectivity(graph) < min_connectivity:  # pragma: no cover - construction guard
+        raise GraphError("random network construction failed to reach the requested connectivity")
+    return graph
+
+
+def uniform_random_capacities(
+    edges: Sequence[Edge], rng: random.Random, max_capacity: int = 4
+) -> NetworkGraph:
+    """Build a graph from the given directed edges with independent random capacities."""
+    graph = NetworkGraph()
+    for tail, head in edges:
+        graph.add_edge(tail, head, rng.randint(1, max_capacity))
+    return graph

@@ -1,0 +1,140 @@
+"""Maximum flow on capacitated directed graphs (Dinic's algorithm).
+
+The paper's throughput analysis is built almost entirely on min-cut values:
+``MINCUT(G_k, 1, j)`` bounds Phase 1, and the pairwise undirected min-cuts
+``U_k`` bound Phase 2.  By the max-flow/min-cut theorem those quantities are
+computed here as maximum flows.  Dinic's algorithm is used because it is
+simple, exact for integer capacities, and more than fast enough for the
+network sizes the simulator targets (tens of nodes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.network_graph import NetworkGraph
+from repro.types import NodeId
+
+
+class _DinicSolver:
+    """A single-use Dinic max-flow solver on an adjacency-list residual graph."""
+
+    def __init__(self) -> None:
+        self._adjacency: Dict[NodeId, List[int]] = {}
+        # Edge arrays: to[i], capacity[i]; reverse edge of i is i ^ 1.
+        self._to: List[NodeId] = []
+        self._capacity: List[int] = []
+
+    def add_node(self, node: NodeId) -> None:
+        self._adjacency.setdefault(node, [])
+
+    def add_edge(self, tail: NodeId, head: NodeId, capacity: int) -> None:
+        self.add_node(tail)
+        self.add_node(head)
+        self._adjacency[tail].append(len(self._to))
+        self._to.append(head)
+        self._capacity.append(capacity)
+        self._adjacency[head].append(len(self._to))
+        self._to.append(tail)
+        self._capacity.append(0)
+
+    def _bfs_levels(self, source: NodeId, sink: NodeId) -> Dict[NodeId, int] | None:
+        levels = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for edge_index in self._adjacency[node]:
+                target = self._to[edge_index]
+                if self._capacity[edge_index] > 0 and target not in levels:
+                    levels[target] = levels[node] + 1
+                    queue.append(target)
+        return levels if sink in levels else None
+
+    def _dfs_augment(
+        self,
+        node: NodeId,
+        sink: NodeId,
+        pushed: int,
+        levels: Dict[NodeId, int],
+        iterators: Dict[NodeId, int],
+    ) -> int:
+        if node == sink:
+            return pushed
+        adjacency = self._adjacency[node]
+        while iterators[node] < len(adjacency):
+            edge_index = adjacency[iterators[node]]
+            target = self._to[edge_index]
+            if self._capacity[edge_index] > 0 and levels.get(target, -1) == levels[node] + 1:
+                flow = self._dfs_augment(
+                    target, sink, min(pushed, self._capacity[edge_index]), levels, iterators
+                )
+                if flow > 0:
+                    self._capacity[edge_index] -= flow
+                    self._capacity[edge_index ^ 1] += flow
+                    return flow
+            iterators[node] += 1
+        return 0
+
+    def max_flow(self, source: NodeId, sink: NodeId) -> int:
+        if source not in self._adjacency or sink not in self._adjacency:
+            raise GraphError("source or sink not present in the flow network")
+        if source == sink:
+            raise GraphError("source and sink must differ")
+        total = 0
+        infinity = sum(self._capacity) + 1
+        while True:
+            levels = self._bfs_levels(source, sink)
+            if levels is None:
+                return total
+            iterators = {node: 0 for node in self._adjacency}
+            while True:
+                pushed = self._dfs_augment(source, sink, infinity, levels, iterators)
+                if pushed == 0:
+                    break
+                total += pushed
+
+    def min_cut_reachable(self, source: NodeId) -> Set[NodeId]:
+        """After running max_flow: the source side of a minimum cut."""
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            node = frontier.pop()
+            for edge_index in self._adjacency[node]:
+                target = self._to[edge_index]
+                if self._capacity[edge_index] > 0 and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+
+def _build_solver(graph: NetworkGraph) -> _DinicSolver:
+    solver = _DinicSolver()
+    for node in graph.nodes():
+        solver.add_node(node)
+    for tail, head, capacity in graph.edges():
+        solver.add_edge(tail, head, capacity)
+    return solver
+
+
+def max_flow_value(graph: NetworkGraph, source: NodeId, sink: NodeId) -> int:
+    """Maximum flow value from ``source`` to ``sink`` in the directed graph.
+
+    Raises:
+        GraphError: if either endpoint is missing or they coincide.
+    """
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise GraphError("source or sink not present in the graph")
+    return _build_solver(graph).max_flow(source, sink)
+
+
+def max_flow_with_cut(
+    graph: NetworkGraph, source: NodeId, sink: NodeId
+) -> Tuple[int, Set[NodeId]]:
+    """Maximum flow value together with the source side of a minimum cut."""
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise GraphError("source or sink not present in the graph")
+    solver = _build_solver(graph)
+    value = solver.max_flow(source, sink)
+    return value, solver.min_cut_reachable(source)

@@ -1,0 +1,60 @@
+"""Min-cut quantities used throughout the paper's analysis.
+
+Three quantities appear repeatedly:
+
+* ``MINCUT(G, i, j)`` — the directed ``i``-``j`` min-cut of the instance graph,
+  equal to the ``i``-``j`` max-flow (:func:`st_mincut`);
+* ``gamma_k = min_j MINCUT(G_k, 1, j)`` — the broadcast min-cut from the
+  source, which is the highest rate at which Phase 1 can deliver the input to
+  every node (:func:`broadcast_mincut`);
+* ``min_{i,j} MINCUT(\\bar H, i, j)`` — the smallest pairwise min-cut of an
+  undirected view, the inner minimum of ``U_k``
+  (:func:`min_pairwise_undirected_mincut`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.exceptions import GraphError
+from repro.graph.maxflow import max_flow_value
+from repro.graph.network_graph import NetworkGraph
+from repro.graph.undirected import UndirectedView
+from repro.types import NodeId
+
+
+def st_mincut(graph: NetworkGraph, source: NodeId, sink: NodeId) -> int:
+    """``MINCUT(G, source, sink)`` — the directed min-cut / max-flow value."""
+    return max_flow_value(graph, source, sink)
+
+
+def all_target_mincuts(graph: NetworkGraph, source: NodeId) -> Dict[NodeId, int]:
+    """``MINCUT(G, source, j)`` for every other node ``j`` of the graph."""
+    if not graph.has_node(source):
+        raise GraphError(f"source {source} is not in the graph")
+    return {
+        node: max_flow_value(graph, source, node)
+        for node in graph.nodes()
+        if node != source
+    }
+
+
+def broadcast_mincut(graph: NetworkGraph, source: NodeId) -> int:
+    """``gamma = min_j MINCUT(G, source, j)`` — the broadcast (multicast) capacity.
+
+    By Edmonds' theorem this is also the maximum number of capacity-disjoint
+    spanning arborescences rooted at ``source``, i.e. the rate at which
+    Phase 1 can broadcast unreliably.
+
+    Raises:
+        GraphError: if the graph has no node other than the source.
+    """
+    cuts = all_target_mincuts(graph, source)
+    if not cuts:
+        raise GraphError("broadcast min-cut needs at least one node besides the source")
+    return min(cuts.values())
+
+
+def min_pairwise_undirected_mincut(graph: NetworkGraph) -> int:
+    """Smallest pairwise min-cut of the undirected, capacity-summed view of ``graph``."""
+    return UndirectedView(graph).min_pairwise_mincut()

@@ -1,0 +1,144 @@
+"""Undirected view of a directed capacitated graph.
+
+Section 3 of the paper associates with every directed graph ``H(V, E)`` an
+undirected graph ``\\bar H(V, \\bar E)`` in which the undirected edge
+``{i, j}`` exists whenever either directed edge exists, and its capacity is
+the *sum* of the capacities of ``(i, j)`` and ``(j, i)`` (a missing directed
+edge counts as capacity 0).  The quantity ``U_k`` — which controls the
+equality-check parameter ``rho_k`` — is defined via pairwise min-cuts in these
+undirected views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.maxflow import max_flow_value
+from repro.graph.network_graph import NetworkGraph
+from repro.types import NodeId, NodePair, node_pair
+
+
+class UndirectedView:
+    """The undirected, capacity-summed view ``\\bar H`` of a directed graph ``H``."""
+
+    def __init__(self, directed: NetworkGraph) -> None:
+        self._nodes = directed.nodes()
+        capacities: Dict[NodePair, int] = {}
+        for tail, head, capacity in directed.edges():
+            pair = node_pair(tail, head)
+            capacities[pair] = capacities.get(pair, 0) + capacity
+        self._capacities = capacities
+
+    # -------------------------------------------------------------- accessors
+
+    def nodes(self) -> List[NodeId]:
+        """All node identifiers in sorted order."""
+        return list(self._nodes)
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId, int]]:
+        """Iterate over undirected edges as ``(min_node, max_node, capacity)``."""
+        for pair in sorted(self._capacities, key=lambda p: tuple(sorted(p))):
+            low, high = sorted(pair)
+            yield low, high, self._capacities[pair]
+
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return len(self._capacities)
+
+    def has_edge(self, a: NodeId, b: NodeId) -> bool:
+        """Whether an undirected edge exists between ``a`` and ``b``."""
+        return node_pair(a, b) in self._capacities
+
+    def capacity(self, a: NodeId, b: NodeId) -> int:
+        """Summed capacity of the undirected edge ``{a, b}``.
+
+        Raises:
+            GraphError: if no edge exists between the two nodes.
+        """
+        pair = node_pair(a, b)
+        if pair not in self._capacities:
+            raise GraphError(f"no undirected edge between {a} and {b}")
+        return self._capacities[pair]
+
+    def neighbors(self, node: NodeId) -> List[NodeId]:
+        """Nodes adjacent to ``node`` in the undirected view, sorted."""
+        if node not in self._nodes:
+            raise GraphError(f"node {node} is not in the graph")
+        adjacent = []
+        for pair in self._capacities:
+            if node in pair:
+                (other,) = pair - {node}
+                adjacent.append(other)
+        return sorted(adjacent)
+
+    def is_connected(self) -> bool:
+        """Whether the undirected view is connected (vacuously true when empty)."""
+        if not self._nodes:
+            return True
+        seen = {self._nodes[0]}
+        frontier = [self._nodes[0]]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self._nodes)
+
+    # ---------------------------------------------------------------- min-cuts
+
+    def as_symmetric_digraph(self) -> NetworkGraph:
+        """Represent the undirected view as a symmetric directed graph.
+
+        Each undirected edge of capacity ``c`` becomes two anti-parallel
+        directed edges of capacity ``c``.  Under this encoding a directed
+        ``s``-``t`` max flow equals the undirected ``s``-``t`` min cut, which
+        is how :meth:`mincut` is computed.
+        """
+        digraph = NetworkGraph()
+        for node in self._nodes:
+            digraph.add_node(node)
+        for low, high, capacity in self.edges():
+            digraph.add_edge(low, high, capacity)
+            digraph.add_edge(high, low, capacity)
+        return digraph
+
+    def mincut(self, a: NodeId, b: NodeId) -> int:
+        """The undirected min-cut (equivalently max-flow) between ``a`` and ``b``."""
+        if a not in self._nodes or b not in self._nodes:
+            raise GraphError("both endpoints must be nodes of the graph")
+        return max_flow_value(self.as_symmetric_digraph(), a, b)
+
+    def min_pairwise_mincut(self) -> int:
+        """``min_{i, j} MINCUT(\\bar H, i, j)`` over all node pairs.
+
+        This is the inner minimum in the definition of ``U_k``.  For a graph
+        with fewer than two nodes the quantity is undefined.
+
+        Raises:
+            GraphError: if the graph has fewer than two nodes.
+        """
+        nodes = self._nodes
+        if len(nodes) < 2:
+            raise GraphError("pairwise min-cut requires at least two nodes")
+        if not self.is_connected():
+            return 0
+        digraph = self.as_symmetric_digraph()
+        # For undirected global/pairwise min-cuts it suffices to anchor one
+        # endpoint: min over j != anchor of mincut(anchor, j) equals the global
+        # minimum pairwise cut only for the *global* min-cut; here we need the
+        # full pairwise minimum, but by symmetry of undirected cuts the minimum
+        # over all pairs equals the minimum over pairs containing the anchor
+        # only for the global min cut value.  The definition of U_k uses the
+        # minimum over *all* pairs, which equals the undirected global min-cut,
+        # so anchoring is valid: every cut separates the anchor from some node.
+        anchor = nodes[0]
+        return min(max_flow_value(digraph, anchor, other) for other in nodes[1:])
+
+    def __repr__(self) -> str:
+        return f"UndirectedView(nodes={self.node_count()}, edges={self.edge_count()})"

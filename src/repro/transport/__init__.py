@@ -1,0 +1,33 @@
+"""Synchronous point-to-point network simulation substrate.
+
+The paper's system model is a synchronous network of directed links, where a
+link of capacity ``z_e`` can carry up to ``z_e * tau`` bits in ``tau`` time
+units and propagation delays are (by default) zero.  The simulator here
+enforces exactly that model:
+
+* :class:`repro.transport.message.Message` — a typed unit of communication
+  with an explicit bit size.
+* :class:`repro.transport.accounting.TimeAccountant` — converts the bits sent
+  on each link during a protocol phase into the elapsed time of that phase
+  (``max_e bits_e / z_e``) and accumulates totals across phases and instances.
+* :class:`repro.transport.network.SynchronousNetwork` — message delivery over
+  the links of a :class:`repro.graph.NetworkGraph` with per-phase usage
+  tracking.
+* :class:`repro.transport.faults.FaultModel` — which nodes are Byzantine and
+  which :class:`repro.transport.faults.ByzantineStrategy` drives their
+  behaviour.  The strategy interface is defined here (with honest defaults);
+  concrete attacks live in :mod:`repro.adversary`.
+"""
+
+from repro.transport.accounting import TimeAccountant
+from repro.transport.faults import ByzantineStrategy, FaultModel
+from repro.transport.message import Message
+from repro.transport.network import SynchronousNetwork
+
+__all__ = [
+    "Message",
+    "TimeAccountant",
+    "SynchronousNetwork",
+    "FaultModel",
+    "ByzantineStrategy",
+]

@@ -1,0 +1,137 @@
+"""Time accounting for the paper's deterministic link-capacity model.
+
+A directed link of capacity ``z_e`` bits per time unit can carry ``z_e * tau``
+bits in ``tau`` time units.  A synchronous protocol phase in which ``b_e``
+bits are sent over each link ``e`` therefore takes
+
+    ``max_e  b_e / z_e``
+
+time units (all links transmit in parallel), plus any fixed overhead the
+protocol charges to the phase (e.g. the ``O(n^alpha)`` cost of broadcasting
+1-bit flags with a classical BB algorithm, which the paper accounts separately
+from the ``L``-dependent cost).  All durations are exact
+:class:`fractions.Fraction` values so analytical identities such as
+``L / gamma_k`` hold without floating-point error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Tuple
+
+from repro.exceptions import GraphError, ProtocolError
+from repro.graph.network_graph import NetworkGraph
+from repro.types import Edge, NodeId, PhaseTiming
+
+
+@dataclass
+class _PhaseLedger:
+    """Mutable ledger for one named phase."""
+
+    link_bits: Dict[Edge, int]
+    fixed_overhead: Fraction
+
+    def total_bits(self) -> int:
+        return sum(self.link_bits.values())
+
+
+class TimeAccountant:
+    """Accumulates per-phase link usage and converts it into elapsed time."""
+
+    def __init__(self, graph: NetworkGraph) -> None:
+        self._graph = graph
+        self._phases: Dict[str, _PhaseLedger] = {}
+        self._phase_order: List[str] = []
+
+    # ------------------------------------------------------------- recording
+
+    def _ledger(self, phase: str) -> _PhaseLedger:
+        if phase not in self._phases:
+            self._phases[phase] = _PhaseLedger(link_bits={}, fixed_overhead=Fraction(0))
+            self._phase_order.append(phase)
+        return self._phases[phase]
+
+    def record_transmission(self, phase: str, tail: NodeId, head: NodeId, bits: int) -> None:
+        """Charge ``bits`` of usage on the link ``(tail, head)`` to ``phase``.
+
+        Raises:
+            GraphError: if the link does not exist in the graph.
+            ProtocolError: if ``bits`` is not a positive integer.
+        """
+        if not self._graph.has_edge(tail, head):
+            raise GraphError(f"cannot transmit on missing link ({tail}, {head})")
+        if not isinstance(bits, int) or isinstance(bits, bool) or bits <= 0:
+            raise ProtocolError(f"bits must be a positive integer, got {bits!r}")
+        ledger = self._ledger(phase)
+        ledger.link_bits[(tail, head)] = ledger.link_bits.get((tail, head), 0) + bits
+
+    def add_fixed_overhead(self, phase: str, time_units: Fraction | int) -> None:
+        """Charge a fixed amount of time (independent of link usage) to ``phase``."""
+        duration = Fraction(time_units)
+        if duration < 0:
+            raise ProtocolError(f"fixed overhead must be non-negative, got {duration}")
+        self._ledger(phase).fixed_overhead += duration
+
+    # --------------------------------------------------------------- reporting
+
+    def phase_names(self) -> List[str]:
+        """Phases seen so far, in first-use order."""
+        return list(self._phase_order)
+
+    def link_bits(self, phase: str) -> Dict[Edge, int]:
+        """Bits charged to each link during ``phase`` (empty dict if unknown phase)."""
+        if phase not in self._phases:
+            return {}
+        return dict(self._phases[phase].link_bits)
+
+    def phase_bits(self, phase: str) -> int:
+        """Total bits sent on all links during ``phase``."""
+        if phase not in self._phases:
+            return 0
+        return self._phases[phase].total_bits()
+
+    def phase_elapsed(self, phase: str) -> Fraction:
+        """Elapsed time of ``phase``: ``max_e bits_e / z_e`` plus fixed overhead."""
+        if phase not in self._phases:
+            return Fraction(0)
+        ledger = self._phases[phase]
+        transmission_time = Fraction(0)
+        for (tail, head), bits in ledger.link_bits.items():
+            capacity = self._graph.capacity(tail, head)
+            link_time = Fraction(bits, capacity)
+            if link_time > transmission_time:
+                transmission_time = link_time
+        return transmission_time + ledger.fixed_overhead
+
+    def total_elapsed(self) -> Fraction:
+        """Sum of the elapsed times of all phases (phases run sequentially)."""
+        return sum((self.phase_elapsed(phase) for phase in self._phase_order), Fraction(0))
+
+    def total_bits(self) -> int:
+        """Total bits sent on all links across all phases."""
+        return sum(self.phase_bits(phase) for phase in self._phase_order)
+
+    def phase_timings(self) -> Tuple[PhaseTiming, ...]:
+        """Immutable per-phase summary in execution order."""
+        return tuple(
+            PhaseTiming(
+                name=phase,
+                time_units=self.phase_elapsed(phase),
+                bits_sent=self.phase_bits(phase),
+            )
+            for phase in self._phase_order
+        )
+
+    def merge_from(self, other: "TimeAccountant") -> None:
+        """Fold another accountant's ledgers into this one (phases keep their names).
+
+        Used when a sub-protocol (e.g. the classical 1-bit broadcast) runs with
+        its own accountant and its cost must be attributed to the caller.
+        """
+        for phase in other.phase_names():
+            for (tail, head), bits in other.link_bits(phase).items():
+                self.record_transmission(phase, tail, head, bits)
+            overhead = other._phases[phase].fixed_overhead
+            if overhead:
+                self.add_fixed_overhead(phase, overhead)

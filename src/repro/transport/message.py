@@ -1,0 +1,65 @@
+"""Typed messages with explicit bit-size accounting.
+
+Every transmission in the simulator carries an explicit ``bit_size`` so that
+the :class:`repro.transport.accounting.TimeAccountant` can convert link usage
+into elapsed time exactly as the paper's capacity model prescribes.  The
+payload itself is opaque to the transport layer; protocols put whatever
+structured data they need in it (symbols, flags, transcript claims, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+from repro.exceptions import ProtocolError
+from repro.types import NodeId
+
+_SEQUENCE = count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One unit of communication over a directed link.
+
+    Attributes:
+        sender: Node that transmits the message.
+        receiver: Node that receives the message.
+        phase: Name of the protocol phase the transmission belongs to; used to
+            attribute link usage to phases for time accounting.
+        kind: Free-form message type tag (e.g. ``"phase1_symbol"``,
+            ``"equality_coded"``, ``"eig_relay"``).
+        payload: Protocol-defined content.
+        bit_size: Number of bits this message occupies on the link.  Must be
+            positive; the transport charges exactly this amount to the link.
+        sequence: Monotonically increasing identifier, assigned automatically,
+            used only to keep delivery order deterministic.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    phase: str
+    kind: str
+    payload: Any
+    bit_size: int
+    sequence: int = field(default_factory=lambda: next(_SEQUENCE))
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.bit_size, int) or isinstance(self.bit_size, bool):
+            raise ProtocolError(f"bit_size must be an int, got {type(self.bit_size).__name__}")
+        if self.bit_size <= 0:
+            raise ProtocolError(f"bit_size must be positive, got {self.bit_size}")
+        if self.sender == self.receiver:
+            raise ProtocolError("a node does not send messages to itself over the network")
+
+    def replace_payload(self, payload: Any, bit_size: int | None = None) -> "Message":
+        """Return a copy with a different payload (used by Byzantine interception)."""
+        return Message(
+            sender=self.sender,
+            receiver=self.receiver,
+            phase=self.phase,
+            kind=self.kind,
+            payload=payload,
+            bit_size=self.bit_size if bit_size is None else bit_size,
+        )

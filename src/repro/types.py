@@ -1,0 +1,96 @@
+"""Common type aliases and small value objects shared across the library.
+
+The paper models the network as a directed simple graph ``G(V, E)`` whose
+vertices are the nodes ``1 .. n`` and whose directed edges carry positive
+integer capacities.  Throughout the library nodes are identified by plain
+integers and directed edges by ``(tail, head)`` tuples; this module pins those
+conventions down and provides the small frozen dataclasses used to pass
+structured results between subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, FrozenSet, Tuple
+
+#: A node identifier.  The paper numbers nodes ``1 .. n`` with node 1 as the
+#: source; the library follows the same convention but does not require
+#: contiguous identifiers.
+NodeId = int
+
+#: A directed edge identified by ``(tail, head)``.
+Edge = Tuple[NodeId, NodeId]
+
+#: An unordered node pair, used for disputes and undirected edges.  Stored as
+#: a ``frozenset`` of exactly two node identifiers.
+NodePair = FrozenSet[NodeId]
+
+#: Time durations and throughputs are exact rationals so that the analytical
+#: quantities of the paper (e.g. ``L / gamma_k``) can be compared without
+#: floating-point noise.
+TimeUnits = Fraction
+
+
+def node_pair(a: NodeId, b: NodeId) -> NodePair:
+    """Return the canonical unordered pair for nodes ``a`` and ``b``.
+
+    Raises:
+        ValueError: if ``a == b`` — a node cannot be in dispute with itself
+            and the network graph has no self loops.
+    """
+    if a == b:
+        raise ValueError(f"a node pair requires two distinct nodes, got {a!r} twice")
+    return frozenset((a, b))
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Elapsed time attributed to one phase of a protocol instance.
+
+    Attributes:
+        name: Human-readable phase name (e.g. ``"phase1_broadcast"``).
+        time_units: Elapsed time in the paper's abstract time units, i.e. the
+            maximum over all links of ``bits sent on the link / link capacity``
+            plus any fixed overhead charged to the phase.
+        bits_sent: Total number of bits sent on all links during the phase.
+    """
+
+    name: str
+    time_units: Fraction
+    bits_sent: int = 0
+
+
+@dataclass(frozen=True)
+class BroadcastResult:
+    """Outcome of one Byzantine-broadcast instance.
+
+    Attributes:
+        outputs: Mapping from fault-free node id to the value that node
+            decided.  Faulty nodes are intentionally absent: the BB
+            specification constrains only fault-free outputs.
+        elapsed: Total elapsed time in abstract time units.
+        bits_sent: Total bits sent on all links.
+        phase_timings: Per-phase timing breakdown, in execution order.
+        metadata: Free-form per-protocol diagnostic information (e.g. whether
+            dispute control ran, which disputes were discovered).
+    """
+
+    outputs: Dict[NodeId, bytes]
+    elapsed: Fraction
+    bits_sent: int = 0
+    phase_timings: Tuple[PhaseTiming, ...] = ()
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def agreed_value(self) -> bytes:
+        """Return the common output if all fault-free nodes agree.
+
+        Raises:
+            ValueError: if the outputs are empty or not all identical.
+        """
+        values = set(self.outputs.values())
+        if not values:
+            raise ValueError("broadcast result has no fault-free outputs")
+        if len(values) != 1:
+            raise ValueError(f"fault-free nodes disagree: {len(values)} distinct outputs")
+        return next(iter(values))

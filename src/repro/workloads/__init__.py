@@ -1,0 +1,17 @@
+"""Workload construction: named topologies and end-to-end scenarios.
+
+These helpers give the examples and benchmarks a single place to obtain
+reproducible experiment setups: a capacitated network, a Byzantine fault
+model, a resilience parameter and a stream of inputs to broadcast.
+"""
+
+from repro.workloads.scenarios import Scenario, adversarial_scenario, fault_free_scenario
+from repro.workloads.topologies import named_topologies, topology
+
+__all__ = [
+    "topology",
+    "named_topologies",
+    "Scenario",
+    "fault_free_scenario",
+    "adversarial_scenario",
+]

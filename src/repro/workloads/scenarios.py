@@ -1,0 +1,112 @@
+"""End-to-end scenario builders: network + fault model + input stream.
+
+A :class:`Scenario` bundles everything needed to run an experiment so that
+examples and benchmarks stay declarative: which topology, who is faulty and
+with what strategy, how many instances of how many bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.adversary.strategies import (
+    DisputeLiarStrategy,
+    EqualityGarbageStrategy,
+    EquivocatingSourceStrategy,
+    FalseFlagStrategy,
+    Phase1CorruptingRelayStrategy,
+    RandomizedChaosStrategy,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.faults import ByzantineStrategy, FaultModel
+from repro.types import NodeId
+from repro.workloads.topologies import topology
+
+_STRATEGIES = {
+    "phase1-relay": Phase1CorruptingRelayStrategy,
+    "equivocating-source": EquivocatingSourceStrategy,
+    "equality-garbage": EqualityGarbageStrategy,
+    "false-flag": FalseFlagStrategy,
+    "dispute-liar": DisputeLiarStrategy,
+    "chaos": RandomizedChaosStrategy,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified broadcast experiment.
+
+    Attributes:
+        name: Human-readable scenario name.
+        graph: The capacitated network.
+        source: Broadcasting node.
+        max_faults: Resilience parameter ``f``.
+        fault_model: Which nodes are Byzantine and their strategy.
+        inputs: The values to broadcast, one per instance.
+    """
+
+    name: str
+    graph: NetworkGraph
+    source: NodeId
+    max_faults: int
+    fault_model: FaultModel
+    inputs: Sequence[bytes]
+
+
+def _make_inputs(instances: int, value_bytes: int, seed: int) -> List[bytes]:
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(value_bytes)) for _ in range(instances)]
+
+
+def fault_free_scenario(
+    topology_name: str = "k4-fast",
+    instances: int = 5,
+    value_bytes: int = 8,
+    max_faults: int = 1,
+    seed: int = 0,
+) -> Scenario:
+    """A scenario with no Byzantine nodes (the common case in steady state)."""
+    graph = topology(topology_name)
+    return Scenario(
+        name=f"fault-free/{topology_name}",
+        graph=graph,
+        source=1,
+        max_faults=max_faults,
+        fault_model=FaultModel(),
+        inputs=_make_inputs(instances, value_bytes, seed),
+    )
+
+
+def adversarial_scenario(
+    topology_name: str = "k4-fast",
+    strategy_name: str = "equality-garbage",
+    faulty_nodes: Sequence[NodeId] = (3,),
+    instances: int = 5,
+    value_bytes: int = 8,
+    max_faults: int = 1,
+    seed: int = 0,
+    strategy: Optional[ByzantineStrategy] = None,
+) -> Scenario:
+    """A scenario with Byzantine nodes following a named (or custom) strategy.
+
+    Raises:
+        ConfigurationError: if the strategy name is unknown.
+    """
+    if strategy is None:
+        if strategy_name not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown strategy {strategy_name!r}; available: {', '.join(sorted(_STRATEGIES))}"
+            )
+        strategy = _STRATEGIES[strategy_name]()
+    graph = topology(topology_name)
+    return Scenario(
+        name=f"{strategy.name}/{topology_name}",
+        graph=graph,
+        source=1,
+        max_faults=max_faults,
+        fault_model=FaultModel(faulty_nodes, strategy),
+        inputs=_make_inputs(instances, value_bytes, seed),
+    )

@@ -1,0 +1,58 @@
+"""Named topologies used by examples, tests and benchmarks.
+
+Each topology is referenced by a short string so benchmark parameter sweeps
+can list them declaratively.  The paper's example graphs (Figures 1 and 2) are
+included alongside synthetic families.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.graph import generators
+from repro.graph.network_graph import NetworkGraph
+
+_TOPOLOGY_BUILDERS: Dict[str, Callable[[], NetworkGraph]] = {
+    "figure1a": generators.figure1a,
+    "figure1b": generators.figure1b,
+    "figure2a": generators.figure2a,
+    "k4-unit": lambda: generators.complete_graph(4, capacity=1),
+    "k4-fast": lambda: generators.complete_graph(4, capacity=4),
+    "k5-unit": lambda: generators.complete_graph(5, capacity=1),
+    "k7-unit": lambda: generators.complete_graph(7, capacity=1),
+    "k7-fast": lambda: generators.complete_graph(7, capacity=3),
+    "ring7-chords": lambda: generators.ring_with_chords(7, chord_span=2, capacity=2),
+    "bottleneck4": lambda: generators.heterogeneous_bottleneck(
+        4, fast_capacity=8, slow_capacity=1
+    ),
+    "bottleneck5": lambda: generators.heterogeneous_bottleneck(
+        5, fast_capacity=8, slow_capacity=1
+    ),
+    "pipeline-3x3": lambda: generators.layered_pipeline(3, 3, capacity=1),
+    "random6": lambda: generators.random_connected_network(
+        6, 3, random.Random(1), max_capacity=4
+    ),
+    "random7": lambda: generators.random_connected_network(
+        7, 3, random.Random(2), max_capacity=4
+    ),
+}
+
+
+def named_topologies() -> List[str]:
+    """All available topology names, sorted."""
+    return sorted(_TOPOLOGY_BUILDERS)
+
+
+def topology(name: str) -> NetworkGraph:
+    """Build the named topology (a fresh graph each call).
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    if name not in _TOPOLOGY_BUILDERS:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; available: {', '.join(named_topologies())}"
+        )
+    return _TOPOLOGY_BUILDERS[name]()

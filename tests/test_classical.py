@@ -1,0 +1,232 @@
+"""Tests for the classical Byzantine-broadcast substrate (relay, EIG, baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classical.broadcast_default import BroadcastDefault
+from repro.classical.eig import EIGBroadcast, broadcast_bit_cost
+from repro.classical.flooding import classical_full_value_broadcast
+from repro.classical.relay import DisjointPathRelay, majority_value
+from repro.exceptions import ProtocolError
+from repro.graph.generators import complete_graph, heterogeneous_bottleneck, ring_with_chords
+from repro.transport.faults import ByzantineStrategy, FaultModel
+from repro.transport.network import SynchronousNetwork
+
+
+class CorruptingRelayStrategy(ByzantineStrategy):
+    """Faulty intermediate nodes flip every value they relay."""
+
+    name = "corrupting-relay"
+
+    def relay_value(self, instance, node, path, receiver, true_value):
+        return ("corrupted", node)
+
+
+class EquivocatingBroadcastStrategy(ByzantineStrategy):
+    """A faulty broadcaster tells even-numbered receivers one thing and odd another."""
+
+    name = "equivocating-broadcast"
+
+    def broadcast_value(self, instance, node, receiver, context, true_value):
+        return "even" if receiver % 2 == 0 else "odd"
+
+
+class LyingRelayerStrategy(ByzantineStrategy):
+    """A faulty EIG relayer reports a fixed bogus value in every relay round."""
+
+    name = "lying-relayer"
+
+    def broadcast_value(self, instance, node, receiver, context, true_value):
+        return "bogus"
+
+
+class TestMajorityValue:
+    def test_empty_returns_default(self):
+        assert majority_value([]) is None
+
+    def test_strict_majority(self):
+        assert majority_value([1, 1, 2]) == 1
+
+    def test_no_strict_majority_returns_default(self):
+        assert majority_value([1, 2]) is None
+
+    def test_unhashable_payloads(self):
+        assert majority_value([[1, 2], [1, 2], [3]]) == [1, 2]
+
+
+class TestDisjointPathRelay:
+    def test_paths_are_cached_and_disjoint(self):
+        network = SynchronousNetwork(complete_graph(4))
+        relay = DisjointPathRelay(network, max_faults=1)
+        paths_first = relay.paths_between(1, 3)
+        paths_second = relay.paths_between(1, 3)
+        assert paths_first is paths_second
+        assert len(paths_first) == 3
+
+    def test_insufficient_connectivity_raises(self):
+        graph = ring_with_chords(5, chord_span=0)  # plain ring, connectivity 2
+        network = SynchronousNetwork(graph)
+        relay = DisjointPathRelay(network, max_faults=1)
+        with pytest.raises(ProtocolError):
+            relay.paths_between(1, 3)
+
+    def test_negative_faults_rejected(self):
+        network = SynchronousNetwork(complete_graph(4))
+        with pytest.raises(ProtocolError):
+            DisjointPathRelay(network, max_faults=-1)
+
+    def test_reliable_send_without_faults(self):
+        network = SynchronousNetwork(complete_graph(4))
+        relay = DisjointPathRelay(network, max_faults=1)
+        assert relay.reliable_send(1, 3, "payload", 8, "p") == "payload"
+
+    def test_reliable_send_to_self_is_identity(self):
+        network = SynchronousNetwork(complete_graph(4))
+        relay = DisjointPathRelay(network, max_faults=1)
+        assert relay.reliable_send(2, 2, "x", 8, "p") == "x"
+        assert network.total_bits() == 0
+
+    def test_reliable_send_survives_corrupting_intermediate(self):
+        fault_model = FaultModel([2], CorruptingRelayStrategy())
+        network = SynchronousNetwork(complete_graph(4), fault_model)
+        relay = DisjointPathRelay(network, max_faults=1)
+        assert relay.reliable_send(1, 3, "payload", 8, "p") == "payload"
+
+    def test_reliable_send_charges_bits(self):
+        network = SynchronousNetwork(complete_graph(4))
+        relay = DisjointPathRelay(network, max_faults=1)
+        relay.reliable_send(1, 3, "payload", 10, "p")
+        # 3 disjoint paths: one direct (1 hop) and two 2-hop paths -> 5 hops total.
+        assert network.total_bits() == 5 * 10
+
+    def test_faulty_sender_per_path_values(self):
+        network = SynchronousNetwork(complete_graph(4), FaultModel([1]))
+        relay = DisjointPathRelay(network, max_faults=1)
+        received = relay.reliable_send_from_faulty(1, 3, ["a", "a", "b"], 8, "p")
+        assert received == "a"
+
+    def test_faulty_sender_per_path_values_wrong_length(self):
+        network = SynchronousNetwork(complete_graph(4), FaultModel([1]))
+        relay = DisjointPathRelay(network, max_faults=1)
+        with pytest.raises(ProtocolError):
+            relay.reliable_send_from_faulty(1, 3, ["a"], 8, "p")
+
+
+class TestEIGBroadcast:
+    def _make(self, node_count, faulty=(), strategy=None, max_faults=1):
+        graph = complete_graph(node_count)
+        network = SynchronousNetwork(graph, FaultModel(faulty, strategy))
+        relay = DisjointPathRelay(network, max_faults)
+        return network, EIGBroadcast(network, network.graph.nodes(), max_faults, relay)
+
+    def test_requires_enough_participants(self):
+        network = SynchronousNetwork(complete_graph(3))
+        relay = DisjointPathRelay(network, 1)
+        with pytest.raises(ProtocolError):
+            EIGBroadcast(network, [1, 2, 3], 1, relay)
+
+    def test_participants_must_be_graph_nodes(self):
+        network = SynchronousNetwork(complete_graph(4))
+        relay = DisjointPathRelay(network, 1)
+        with pytest.raises(ProtocolError):
+            EIGBroadcast(network, [1, 2, 3, 99], 1, relay)
+
+    def test_source_must_be_participant(self):
+        network, eig = self._make(4)
+        with pytest.raises(ProtocolError):
+            eig.broadcast(99, "v", 8, "p")
+
+    def test_all_honest_agree_on_source_value(self):
+        network, eig = self._make(4)
+        outputs = eig.broadcast(1, "the-value", 16, "p")
+        assert set(outputs) == {1, 2, 3, 4}
+        assert all(value == "the-value" for value in outputs.values())
+
+    def test_validity_with_faulty_non_source(self):
+        network, eig = self._make(4, faulty=[3], strategy=LyingRelayerStrategy())
+        outputs = eig.broadcast(1, 42, 8, "p")
+        assert set(outputs) == {1, 2, 4}
+        assert all(value == 42 for value in outputs.values())
+
+    def test_agreement_with_equivocating_faulty_source(self):
+        network, eig = self._make(4, faulty=[1], strategy=EquivocatingBroadcastStrategy())
+        outputs = eig.broadcast(1, "never-sent", 8, "p")
+        assert set(outputs) == {2, 3, 4}
+        assert len(set(map(repr, outputs.values()))) == 1
+
+    def test_agreement_and_validity_with_f2(self):
+        graph = complete_graph(7)
+        network = SynchronousNetwork(graph, FaultModel([3, 5], LyingRelayerStrategy()))
+        relay = DisjointPathRelay(network, 2)
+        eig = EIGBroadcast(network, graph.nodes(), 2, relay)
+        outputs = eig.broadcast(1, "v7", 8, "p")
+        assert set(outputs) == {1, 2, 4, 6, 7}
+        assert all(value == "v7" for value in outputs.values())
+
+    def test_agreement_with_faulty_source_f2(self):
+        graph = complete_graph(7)
+        network = SynchronousNetwork(graph, FaultModel([1, 4], EquivocatingBroadcastStrategy()))
+        relay = DisjointPathRelay(network, 2)
+        eig = EIGBroadcast(network, graph.nodes(), 2, relay)
+        outputs = eig.broadcast(1, "x", 8, "p")
+        assert len(set(map(repr, outputs.values()))) == 1
+
+    def test_bits_are_charged(self):
+        network, eig = self._make(4)
+        eig.broadcast(1, "v", 8, "p")
+        assert network.total_bits() > 0
+
+    def test_broadcast_bit_cost_monotone_in_n(self):
+        assert broadcast_bit_cost(5, 1) > broadcast_bit_cost(4, 1)
+        assert broadcast_bit_cost(7, 2) > broadcast_bit_cost(7, 1)
+
+
+class TestBroadcastDefault:
+    def test_broadcast_from_all_agreement(self):
+        graph = complete_graph(4)
+        network = SynchronousNetwork(graph, FaultModel([2], EquivocatingBroadcastStrategy()))
+        broadcaster = BroadcastDefault(network, graph.nodes(), 1)
+        values = {node: f"flag-{node}" for node in graph.nodes()}
+        outputs = broadcaster.broadcast_from_all(values, bit_size=1, phase="flags")
+        fault_free = [1, 3, 4]
+        assert sorted(outputs) == fault_free
+        # All fault-free receivers agree on the whole vector.
+        vectors = [repr(sorted(outputs[node].items(), key=lambda kv: kv[0])) for node in fault_free]
+        assert len(set(vectors)) == 1
+        # Validity for fault-free origins.
+        for node in fault_free:
+            for origin in fault_free:
+                assert outputs[node][origin] == f"flag-{origin}"
+
+    def test_broadcast_on_incomplete_network(self):
+        graph = ring_with_chords(5, chord_span=2)
+        network = SynchronousNetwork(graph)
+        broadcaster = BroadcastDefault(network, graph.nodes(), 1)
+        outputs = broadcaster.broadcast(2, "hello", 8, "p")
+        assert all(value == "hello" for value in outputs.values())
+
+
+class TestClassicalFloodingBaseline:
+    def test_result_structure_and_validity(self):
+        graph = complete_graph(4, capacity=4)
+        result = classical_full_value_broadcast(graph, 1, b"payload-bytes", 1)
+        assert result.agreed_value() == b"payload-bytes"
+        assert result.elapsed > 0
+        assert result.bits_sent > 0
+        assert result.metadata["algorithm"] == "classical_eig_flooding"
+
+    def test_slow_link_throttles_elapsed_time(self):
+        value = b"x" * 64
+        fast = heterogeneous_bottleneck(4, fast_capacity=8, slow_capacity=8)
+        slow = heterogeneous_bottleneck(4, fast_capacity=8, slow_capacity=1)
+        fast_result = classical_full_value_broadcast(fast, 1, value, 1)
+        slow_result = classical_full_value_broadcast(slow, 1, value, 1)
+        assert slow_result.elapsed > fast_result.elapsed
+
+    def test_with_faulty_node_still_agrees(self):
+        graph = complete_graph(4, capacity=2)
+        fault_model = FaultModel([3], LyingRelayerStrategy())
+        result = classical_full_value_broadcast(graph, 1, b"abc", 1, fault_model)
+        assert sorted(result.outputs) == [1, 2, 4]
+        assert result.agreed_value() == b"abc"

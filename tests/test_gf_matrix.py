@@ -1,0 +1,292 @@
+"""Unit and property tests for dense matrices over GF(2^m)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MatrixError
+from repro.gf.field import GF2m
+from repro.gf.matrix import GFMatrix
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2m(8)
+
+
+class TestConstruction:
+    def test_rejects_empty(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix(gf8, [])
+
+    def test_rejects_ragged_rows(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix(gf8, [[1, 2], [3]])
+
+    def test_rejects_out_of_field_entries(self, gf8):
+        with pytest.raises(Exception):
+            GFMatrix(gf8, [[300]])
+
+    def test_zeros_shape(self, gf8):
+        matrix = GFMatrix.zeros(gf8, 3, 4)
+        assert matrix.shape == (3, 4)
+        assert matrix.is_zero()
+
+    def test_zeros_invalid_shape(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix.zeros(gf8, 0, 4)
+
+    def test_identity(self, gf8):
+        identity = GFMatrix.identity(gf8, 3)
+        assert identity.entry(0, 0) == 1
+        assert identity.entry(0, 1) == 0
+        assert identity.rank() == 3
+
+    def test_identity_invalid_size(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix.identity(gf8, 0)
+
+    def test_row_and_column_vectors(self, gf8):
+        row = GFMatrix.row_vector(gf8, [1, 2, 3])
+        col = GFMatrix.column_vector(gf8, [1, 2, 3])
+        assert row.shape == (1, 3)
+        assert col.shape == (3, 1)
+
+    def test_random_shape_and_membership(self, gf8):
+        rng = random.Random(0)
+        matrix = GFMatrix.random(gf8, 4, 5, rng)
+        assert matrix.shape == (4, 5)
+        assert all(0 <= matrix.entry(r, c) < gf8.order for r in range(4) for c in range(5))
+
+    def test_random_invalid_shape(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix.random(gf8, 0, 5, random.Random(0))
+
+    def test_to_lists_returns_copy(self, gf8):
+        matrix = GFMatrix(gf8, [[1, 2], [3, 4]])
+        data = matrix.to_lists()
+        data[0][0] = 99
+        assert matrix.entry(0, 0) == 1
+
+
+class TestOperations:
+    def test_add_is_entrywise_xor(self, gf8):
+        a = GFMatrix(gf8, [[1, 2], [3, 4]])
+        b = GFMatrix(gf8, [[5, 6], [7, 8]])
+        assert a.add(b).to_lists() == [[4, 4], [4, 12]]
+
+    def test_add_shape_mismatch(self, gf8):
+        a = GFMatrix(gf8, [[1, 2]])
+        b = GFMatrix(gf8, [[1], [2]])
+        with pytest.raises(MatrixError):
+            a.add(b)
+
+    def test_add_field_mismatch(self, gf8):
+        a = GFMatrix(gf8, [[1]])
+        b = GFMatrix(GF2m(4), [[1]])
+        with pytest.raises(MatrixError):
+            a.add(b)
+
+    def test_scalar_mul(self, gf8):
+        a = GFMatrix(gf8, [[1, 2]])
+        scaled = a.scalar_mul(3)
+        assert scaled.to_lists() == [[gf8.mul(3, 1), gf8.mul(3, 2)]]
+
+    def test_matmul_identity(self, gf8):
+        rng = random.Random(1)
+        a = GFMatrix.random(gf8, 3, 3, rng)
+        identity = GFMatrix.identity(gf8, 3)
+        assert a.matmul(identity) == a
+        assert identity.matmul(a) == a
+
+    def test_matmul_shape(self, gf8):
+        a = GFMatrix.zeros(gf8, 2, 3)
+        b = GFMatrix.zeros(gf8, 3, 5)
+        assert a.matmul(b).shape == (2, 5)
+
+    def test_matmul_dimension_mismatch(self, gf8):
+        a = GFMatrix.zeros(gf8, 2, 3)
+        b = GFMatrix.zeros(gf8, 2, 3)
+        with pytest.raises(MatrixError):
+            a.matmul(b)
+
+    def test_matmul_operator(self, gf8):
+        a = GFMatrix.identity(gf8, 2)
+        b = GFMatrix(gf8, [[7, 8], [9, 10]])
+        assert (a @ b) == b
+
+    def test_transpose_involution(self, gf8):
+        rng = random.Random(2)
+        a = GFMatrix.random(gf8, 3, 5, rng)
+        assert a.transpose().transpose() == a
+
+    def test_transpose_shape(self, gf8):
+        a = GFMatrix.zeros(gf8, 3, 5)
+        assert a.transpose().shape == (5, 3)
+
+    def test_hstack_and_vstack(self, gf8):
+        a = GFMatrix(gf8, [[1, 2], [3, 4]])
+        b = GFMatrix(gf8, [[5], [6]])
+        stacked = a.hstack(b)
+        assert stacked.shape == (2, 3)
+        assert stacked.column(2) == [5, 6]
+        c = GFMatrix(gf8, [[7, 8]])
+        tall = a.vstack(c)
+        assert tall.shape == (3, 2)
+        assert tall.row(2) == [7, 8]
+
+    def test_hstack_mismatch(self, gf8):
+        a = GFMatrix.zeros(gf8, 2, 2)
+        b = GFMatrix.zeros(gf8, 3, 2)
+        with pytest.raises(MatrixError):
+            a.hstack(b)
+
+    def test_vstack_mismatch(self, gf8):
+        a = GFMatrix.zeros(gf8, 2, 2)
+        b = GFMatrix.zeros(gf8, 2, 3)
+        with pytest.raises(MatrixError):
+            a.vstack(b)
+
+    def test_submatrix(self, gf8):
+        a = GFMatrix(gf8, [[1, 2, 3], [4, 5, 6], [7, 8, 9]])
+        sub = a.submatrix([0, 2], [1, 2])
+        assert sub.to_lists() == [[2, 3], [8, 9]]
+
+    def test_submatrix_empty_selection_raises(self, gf8):
+        a = GFMatrix.identity(gf8, 2)
+        with pytest.raises(MatrixError):
+            a.submatrix([], [0])
+
+
+class TestElimination:
+    def test_rank_of_identity(self, gf8):
+        assert GFMatrix.identity(gf8, 4).rank() == 4
+
+    def test_rank_of_zero(self, gf8):
+        assert GFMatrix.zeros(gf8, 3, 3).rank() == 0
+
+    def test_rank_of_duplicated_rows(self, gf8):
+        a = GFMatrix(gf8, [[1, 2, 3], [1, 2, 3], [4, 5, 6]])
+        assert a.rank() == 2
+
+    def test_rank_wide_matrix(self, gf8):
+        a = GFMatrix(gf8, [[1, 0, 0, 5], [0, 1, 0, 7]])
+        assert a.rank() == 2
+
+    def test_determinant_identity(self, gf8):
+        assert GFMatrix.identity(gf8, 5).determinant() == 1
+
+    def test_determinant_singular_is_zero(self, gf8):
+        a = GFMatrix(gf8, [[1, 2], [1, 2]])
+        assert a.determinant() == 0
+
+    def test_determinant_requires_square(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix.zeros(gf8, 2, 3).determinant()
+
+    def test_determinant_diagonal_is_product(self, gf8):
+        a = GFMatrix(gf8, [[3, 0, 0], [0, 5, 0], [0, 0, 7]])
+        assert a.determinant() == gf8.mul(gf8.mul(3, 5), 7)
+
+    def test_inverse_roundtrip(self, gf8):
+        rng = random.Random(5)
+        while True:
+            a = GFMatrix.random(gf8, 4, 4, rng)
+            if a.is_invertible():
+                break
+        assert a.matmul(a.inverse()) == GFMatrix.identity(gf8, 4)
+        assert a.inverse().matmul(a) == GFMatrix.identity(gf8, 4)
+
+    def test_inverse_of_singular_raises(self, gf8):
+        a = GFMatrix(gf8, [[1, 2], [1, 2]])
+        with pytest.raises(MatrixError):
+            a.inverse()
+
+    def test_inverse_requires_square(self, gf8):
+        with pytest.raises(MatrixError):
+            GFMatrix.zeros(gf8, 2, 3).inverse()
+
+    def test_solve(self, gf8):
+        rng = random.Random(6)
+        while True:
+            a = GFMatrix.random(gf8, 3, 3, rng)
+            if a.is_invertible():
+                break
+        x = GFMatrix.random(gf8, 3, 2, rng)
+        rhs = a.matmul(x)
+        assert a.solve(rhs) == x
+
+    def test_solve_shape_mismatch(self, gf8):
+        a = GFMatrix.identity(gf8, 3)
+        rhs = GFMatrix.zeros(gf8, 2, 1)
+        with pytest.raises(MatrixError):
+            a.solve(rhs)
+
+    def test_null_space_dimension(self, gf8):
+        a = GFMatrix(gf8, [[1, 2, 3], [2, 4, 6]])
+        assert a.null_space_dimension() == 3 - a.rank()
+
+    def test_is_invertible_false_for_rectangular(self, gf8):
+        assert not GFMatrix.zeros(gf8, 2, 3).is_invertible()
+
+    def test_equality_and_hash(self, gf8):
+        a = GFMatrix(gf8, [[1, 2]])
+        b = GFMatrix(gf8, [[1, 2]])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self, gf8):
+        assert "shape=(1, 2)" in repr(GFMatrix(gf8, [[1, 2]]))
+
+
+@st.composite
+def square_matrices(draw):
+    degree = draw(st.sampled_from([4, 8, 16]))
+    field = GF2m(degree)
+    size = draw(st.integers(min_value=1, max_value=5))
+    data = [
+        [draw(st.integers(min_value=0, max_value=field.order - 1)) for _ in range(size)]
+        for _ in range(size)
+    ]
+    return field, GFMatrix(field, data)
+
+
+class TestMatrixProperties:
+    @given(square_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounded_by_size(self, data):
+        _, matrix = data
+        assert 0 <= matrix.rank() <= matrix.rows
+
+    @given(square_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_determinant_nonzero_iff_full_rank(self, data):
+        _, matrix = data
+        assert (matrix.determinant() != 0) == (matrix.rank() == matrix.rows)
+
+    @given(square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_property(self, data):
+        field, matrix = data
+        if matrix.is_invertible():
+            identity = GFMatrix.identity(field, matrix.rows)
+            assert matrix.matmul(matrix.inverse()) == identity
+
+    @given(square_matrices(), square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_rank_of_product_at_most_min(self, data_a, data_b):
+        field_a, a = data_a
+        field_b, b = data_b
+        if field_a != field_b or a.cols != b.rows:
+            return
+        assert a.matmul(b).rank() <= min(a.rank(), b.rank())
+
+    @given(square_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_preserves_rank(self, data):
+        _, matrix = data
+        assert matrix.rank() == matrix.transpose().rank()

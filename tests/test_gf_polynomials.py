@@ -1,0 +1,172 @@
+"""Unit and property tests for GF(2) polynomial arithmetic and irreducibility."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FieldError
+from repro.gf.polynomials import (
+    irreducible_polynomial,
+    is_irreducible,
+    poly_degree,
+    poly_divmod,
+    poly_gcd,
+    poly_mod,
+    poly_mul,
+    poly_mulmod,
+    poly_powmod,
+)
+
+
+class TestPolyBasics:
+    def test_degree_of_zero_is_minus_one(self):
+        assert poly_degree(0) == -1
+
+    def test_degree_of_one_is_zero(self):
+        assert poly_degree(1) == 0
+
+    def test_degree_counts_highest_set_bit(self):
+        assert poly_degree(0b10011) == 4
+
+    def test_mul_by_zero(self):
+        assert poly_mul(0, 0b1011) == 0
+        assert poly_mul(0b1011, 0) == 0
+
+    def test_mul_by_one_is_identity(self):
+        assert poly_mul(1, 0b1011) == 0b1011
+
+    def test_mul_known_value(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2) (cross terms cancel).
+        assert poly_mul(0b11, 0b11) == 0b101
+
+    def test_mul_x_times_x(self):
+        assert poly_mul(0b10, 0b10) == 0b100
+
+    def test_divmod_exact(self):
+        quotient, remainder = poly_divmod(0b101, 0b11)
+        assert remainder == 0
+        assert poly_mul(quotient, 0b11) == 0b101
+
+    def test_divmod_with_remainder_reconstructs(self):
+        a, b = 0b110111, 0b1011
+        quotient, remainder = poly_divmod(a, b)
+        assert poly_degree(remainder) < poly_degree(b)
+        assert poly_mul(quotient, b) ^ remainder == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            poly_divmod(0b101, 0)
+
+    def test_mod_smaller_than_modulus_unchanged(self):
+        assert poly_mod(0b10, 0b1011) == 0b10
+
+    def test_gcd_of_coprime_is_one(self):
+        # x and x+1 are coprime.
+        assert poly_gcd(0b10, 0b11) == 1
+
+    def test_gcd_with_common_factor(self):
+        # (x+1)^2 = x^2+1 shares factor (x+1) with x^2 + x = x(x+1).
+        assert poly_gcd(0b101, 0b110) == 0b11
+
+    def test_powmod_zero_exponent(self):
+        assert poly_powmod(0b101, 0, 0b1011) == 1
+
+    def test_powmod_matches_repeated_mulmod(self):
+        modulus = 0b10011  # x^4 + x + 1, irreducible
+        base = 0b101
+        expected = 1
+        for _ in range(7):
+            expected = poly_mulmod(expected, base, modulus)
+        assert poly_powmod(base, 7, modulus) == expected
+
+
+class TestIrreducibility:
+    def test_known_irreducible_degree4(self):
+        assert is_irreducible(0b10011)  # x^4 + x + 1
+
+    def test_known_reducible_degree4(self):
+        # x^4 + 1 = (x+1)^4 over GF(2).
+        assert not is_irreducible(0b10001)
+
+    def test_degree_one_polynomials_are_irreducible(self):
+        assert is_irreducible(0b10)
+        assert is_irreducible(0b11)
+
+    def test_constants_are_not_irreducible(self):
+        assert not is_irreducible(0)
+        assert not is_irreducible(1)
+
+    def test_x_squared_plus_x_plus_one_irreducible(self):
+        assert is_irreducible(0b111)
+
+    def test_x_squared_plus_one_reducible(self):
+        assert not is_irreducible(0b101)
+
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 5, 8, 13, 16, 32, 37, 64, 100, 128])
+    def test_irreducible_polynomial_has_right_degree_and_is_irreducible(self, degree):
+        poly = irreducible_polynomial(degree)
+        assert poly_degree(poly) == degree
+        assert is_irreducible(poly)
+
+    def test_irreducible_polynomial_is_deterministic(self):
+        assert irreducible_polynomial(24) == irreducible_polynomial(24)
+
+    def test_invalid_degree_raises(self):
+        with pytest.raises(FieldError):
+            irreducible_polynomial(0)
+        with pytest.raises(FieldError):
+            irreducible_polynomial(-3)
+
+    def test_brute_force_agreement_small_degrees(self):
+        """Cross-check is_irreducible against trial division for degrees <= 6."""
+
+        def divides(d, p):
+            return poly_mod(p, d) == 0
+
+        for poly in range(2, 1 << 7):
+            degree = poly_degree(poly)
+            has_factor = any(
+                divides(d, poly)
+                for d in range(2, 1 << degree)
+                if 0 < poly_degree(d) < degree
+            )
+            assert is_irreducible(poly) == (not has_factor and degree >= 1)
+
+
+@st.composite
+def polynomials(draw, max_degree=48):
+    return draw(st.integers(min_value=0, max_value=(1 << (max_degree + 1)) - 1))
+
+
+class TestPolyProperties:
+    @given(polynomials(), polynomials())
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert poly_mul(a, b) == poly_mul(b, a)
+
+    @given(polynomials(16), polynomials(16), polynomials(16))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_associates(self, a, b, c):
+        assert poly_mul(poly_mul(a, b), c) == poly_mul(a, poly_mul(b, c))
+
+    @given(polynomials(16), polynomials(16), polynomials(16))
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_distributes_over_xor(self, a, b, c):
+        assert poly_mul(a, b ^ c) == poly_mul(a, b) ^ poly_mul(a, c)
+
+    @given(polynomials(), st.integers(min_value=1, max_value=(1 << 20) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_divmod_roundtrip(self, a, b):
+        quotient, remainder = poly_divmod(a, b)
+        assert poly_mul(quotient, b) ^ remainder == a
+        assert poly_degree(remainder) < poly_degree(b)
+
+    @given(polynomials(20), polynomials(20))
+    @settings(max_examples=100, deadline=None)
+    def test_gcd_divides_both(self, a, b):
+        gcd = poly_gcd(a, b)
+        if gcd != 0:
+            assert poly_mod(a, gcd) == 0
+            assert poly_mod(b, gcd) == 0

@@ -1,0 +1,115 @@
+"""Tests for bit/byte <-> symbol packing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FieldError
+from repro.gf.symbols import (
+    bits_to_symbols,
+    bytes_to_symbols,
+    symbol_size_for,
+    symbols_to_bits,
+    symbols_to_bytes,
+)
+
+
+class TestBitsToSymbols:
+    def test_exact_split(self):
+        assert bits_to_symbols(0xABCD, 16, 8) == [0xAB, 0xCD]
+
+    def test_padding_when_not_divisible(self):
+        # 10 bits split into 4-bit symbols -> 3 symbols with 2 bits of left padding.
+        symbols = bits_to_symbols(0b11_1100_1010, 10, 4)
+        assert symbols == [0b0011, 0b1100, 0b1010]
+
+    def test_single_symbol(self):
+        assert bits_to_symbols(5, 8, 8) == [5]
+
+    def test_zero_value(self):
+        assert bits_to_symbols(0, 12, 4) == [0, 0, 0]
+
+    def test_value_out_of_range(self):
+        with pytest.raises(FieldError):
+            bits_to_symbols(256, 8, 4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(FieldError):
+            bits_to_symbols(1, 0, 4)
+        with pytest.raises(FieldError):
+            bits_to_symbols(1, 8, 0)
+
+
+class TestSymbolsToBits:
+    def test_roundtrip_known(self):
+        assert symbols_to_bits([0xAB, 0xCD], 8) == 0xABCD
+
+    def test_symbol_out_of_range(self):
+        with pytest.raises(FieldError):
+            symbols_to_bits([16], 4)
+
+    def test_invalid_symbol_bits(self):
+        with pytest.raises(FieldError):
+            symbols_to_bits([1], 0)
+
+
+class TestByteConversions:
+    def test_bytes_roundtrip(self):
+        payload = b"\x12\x34\x56"
+        symbols = bytes_to_symbols(payload, 24, 8)
+        assert symbols == [0x12, 0x34, 0x56]
+        assert symbols_to_bytes(symbols, 8, 24) == payload
+
+    def test_bytes_with_nonbyte_symbols(self):
+        payload = b"\xff\x00"
+        symbols = bytes_to_symbols(payload, 16, 4)
+        assert symbols == [0xF, 0xF, 0x0, 0x0]
+        assert symbols_to_bytes(symbols, 4, 16) == payload
+
+    def test_empty_payload(self):
+        assert bytes_to_symbols(b"", 8, 4) == [0, 0]
+
+    def test_payload_too_large(self):
+        with pytest.raises(FieldError):
+            bytes_to_symbols(b"\xff\xff", 8, 4)
+
+    def test_symbols_insufficient_for_total_bits(self):
+        with pytest.raises(FieldError):
+            symbols_to_bytes([1], 4, 16)
+
+
+class TestSymbolSizeFor:
+    def test_exact(self):
+        assert symbol_size_for(100, 4) == 25
+
+    def test_ceiling(self):
+        assert symbol_size_for(100, 3) == 34
+
+    def test_invalid(self):
+        with pytest.raises(FieldError):
+            symbol_size_for(0, 3)
+        with pytest.raises(FieldError):
+            symbol_size_for(8, 0)
+
+
+class TestRoundtripProperties:
+    @given(
+        st.integers(min_value=1, max_value=256),
+        st.integers(min_value=1, max_value=64),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bits_roundtrip(self, total_bits, symbol_bits, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << total_bits) - 1))
+        symbols = bits_to_symbols(value, total_bits, symbol_bits)
+        assert symbols_to_bits(symbols, symbol_bits) == value
+        assert len(symbols) == -(-total_bits // symbol_bits)
+
+    @given(st.binary(min_size=1, max_size=32), st.integers(min_value=1, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_bytes_roundtrip(self, payload, symbol_bits):
+        total_bits = len(payload) * 8
+        symbols = bytes_to_symbols(payload, total_bits, symbol_bits)
+        assert symbols_to_bytes(symbols, symbol_bits, total_bits) == payload

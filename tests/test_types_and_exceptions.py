@@ -1,0 +1,76 @@
+"""Tests for the shared value objects and the exception hierarchy."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro import exceptions
+from repro.types import BroadcastResult, PhaseTiming, node_pair
+
+
+class TestNodePair:
+    def test_canonical_and_unordered(self):
+        assert node_pair(3, 5) == node_pair(5, 3)
+        assert node_pair(3, 5) == frozenset({3, 5})
+
+    def test_rejects_identical_nodes(self):
+        with pytest.raises(ValueError):
+            node_pair(4, 4)
+
+
+class TestPhaseTiming:
+    def test_fields(self):
+        timing = PhaseTiming(name="phase1", time_units=Fraction(3, 2), bits_sent=12)
+        assert timing.name == "phase1"
+        assert timing.time_units == Fraction(3, 2)
+        assert timing.bits_sent == 12
+
+    def test_frozen(self):
+        timing = PhaseTiming(name="p", time_units=Fraction(1))
+        with pytest.raises(AttributeError):
+            timing.name = "other"  # type: ignore[misc]
+
+
+class TestBroadcastResult:
+    def test_agreed_value_when_unanimous(self):
+        result = BroadcastResult(outputs={2: b"x", 3: b"x"}, elapsed=Fraction(5))
+        assert result.agreed_value() == b"x"
+
+    def test_agreed_value_rejects_disagreement(self):
+        result = BroadcastResult(outputs={2: b"x", 3: b"y"}, elapsed=Fraction(5))
+        with pytest.raises(ValueError):
+            result.agreed_value()
+
+    def test_agreed_value_rejects_empty(self):
+        result = BroadcastResult(outputs={}, elapsed=Fraction(0))
+        with pytest.raises(ValueError):
+            result.agreed_value()
+
+    def test_metadata_defaults_to_empty_dict(self):
+        result = BroadcastResult(outputs={1: b"a"}, elapsed=Fraction(1))
+        assert result.metadata == {}
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            exceptions.FieldError,
+            exceptions.MatrixError,
+            exceptions.GraphError,
+            exceptions.InfeasibleError,
+            exceptions.CapacityViolationError,
+            exceptions.ProtocolError,
+            exceptions.AgreementViolationError,
+            exceptions.ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, exceptions.ReproError)
+        with pytest.raises(exceptions.ReproError):
+            raise exception_type("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(exceptions.ReproError, Exception)
