@@ -1,0 +1,83 @@
+"""Shared benchmark harness: wall-clock timing plus ``BENCH_<name>.json`` output.
+
+Every benchmark suite funnels its measurements through :func:`write_results`
+so the repo's perf trajectory is tracked as machine-readable artifacts from
+PR to PR.  One JSON file per benchmark is written next to this module:
+
+    {
+      "benchmark": "<name>",
+      "fast_mode": false,
+      "suites": {
+        "<suite>": {
+          "wall_seconds": 0.123,
+          "operations": 4096,          // null when not a counted workload
+          "ops_per_second": 33300.8,   // null when operations is null
+          ...suite-specific extras (sizes, speedups, parameters)...
+        }
+      }
+    }
+
+Fast mode (environment variable ``REPRO_BENCH_FAST=1``, set by
+``benchmarks/run_all.py``) asks suites to shrink their problem sizes so the
+whole benchmark tree can run as a smoke test; files written in fast mode are
+flagged via ``"fast_mode": true`` so trend tooling can ignore them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+FAST_MODE = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def fast_mode() -> bool:
+    """Whether benchmarks should run with reduced problem sizes."""
+    return FAST_MODE
+
+
+def scaled(normal, fast):
+    """Pick a problem-size parameter according to the current mode."""
+    return fast if FAST_MODE else normal
+
+
+def time_callable(fn: Callable[[], object], repeat: int = 1) -> Tuple[float, object]:
+    """Best wall-clock seconds over ``repeat`` calls of ``fn``, plus its result."""
+    best: Optional[float] = None
+    result: object = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    assert best is not None
+    return best, result
+
+
+def suite_result(wall_seconds: float, operations: Optional[int] = None, **extra) -> Dict:
+    """Build one suite entry for :func:`write_results`."""
+    ops_per_second = (
+        operations / wall_seconds if operations and wall_seconds > 0 else None
+    )
+    payload: Dict = {
+        "wall_seconds": wall_seconds,
+        "operations": operations,
+        "ops_per_second": ops_per_second,
+    }
+    payload.update(extra)
+    return payload
+
+
+def write_results(name: str, suites: Dict[str, Dict]) -> str:
+    """Write ``BENCH_<name>.json`` next to the benchmarks and return its path."""
+    path = os.path.join(_BENCH_DIR, f"BENCH_{name}.json")
+    payload = {"benchmark": name, "fast_mode": FAST_MODE, "suites": suites}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

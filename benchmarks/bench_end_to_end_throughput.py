@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 
+from _harness import scaled, suite_result, time_callable, write_results
 from repro.analysis.reporting import format_table
 from repro.capacity.bounds import analyse_network
 from repro.core.nab import NetworkAwareBroadcast
@@ -24,7 +25,7 @@ from repro.graph.generators import complete_graph
 # Value sizes in bytes.  The largest size keeps the equality-check symbol field
 # at 1024 bits, the largest degree with a tabulated irreducible polynomial
 # (larger fields require a slow irreducibility search and add nothing here).
-VALUE_LENGTHS = [8, 32, 128, 512]
+VALUE_LENGTHS = scaled([8, 32, 128, 512], [8, 32])
 MAX_FAULTS = 1
 
 
@@ -43,7 +44,21 @@ def _sweep():
 
 
 def test_throughput_approaches_eq6_with_large_L(benchmark):
-    analysis, rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    wall_seconds, (analysis, rows) = time_callable(
+        lambda: benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    )
+    write_results(
+        "end_to_end_throughput",
+        {
+            "sweep": suite_result(
+                wall_seconds,
+                value_lengths_bytes=list(VALUE_LENGTHS),
+                measured_throughput=[float(throughput) for _bits, throughput in rows],
+                eq6_bound=float(analysis.nab_lower_bound),
+                thm2_bound=float(analysis.capacity_upper_bound),
+            )
+        },
+    )
     table = [
         [
             bits,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import random
 
+from _harness import scaled, suite_result, time_callable, write_results
 from repro.analysis.reporting import format_table
 from repro.capacity.bounds import analyse_network
 from repro.capacity.gamma_star import gamma_of_full_graph
@@ -34,7 +35,7 @@ def _analyse_all():
         gamma1 = gamma_of_full_graph(graph, 1)
         u1 = u1_value(graph, 1)
         rows.append((name, analysis, gamma1, u1))
-    for seed in range(4):
+    for seed in range(scaled(4, 1)):
         graph = random_connected_network(6, 3, random.Random(seed), max_capacity=4)
         analysis = analyse_network(graph, 1, 1)
         rows.append((f"random6/seed{seed}", analysis, gamma_of_full_graph(graph, 1), u1_value(graph, 1)))
@@ -42,7 +43,19 @@ def _analyse_all():
 
 
 def test_theorem2_upper_bound_consistency(benchmark):
-    rows = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    wall_seconds, rows = time_callable(
+        lambda: benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    )
+    write_results(
+        "theorem2_capacity_bound",
+        {
+            "analyse_all": suite_result(
+                wall_seconds,
+                operations=len(rows),
+                topologies=[name for name, _analysis, _gamma1, _u1 in rows],
+            )
+        },
+    )
     table = []
     for name, analysis, gamma1, u1 in rows:
         table.append(

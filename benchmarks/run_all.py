@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run every ``benchmarks/bench_*.py`` suite in fast mode.
+
+Entry point for CI / pre-merge smoke runs: each benchmark file is executed
+with ``REPRO_BENCH_FAST=1`` (suites shrink their problem sizes, see
+``_harness.py``) in its own pytest process, and the script exits nonzero if
+any suite fails or raises — so benchmarks cannot silently rot.
+
+Usage:
+    python benchmarks/run_all.py            # fast mode (default)
+    REPRO_BENCH_FAST=0 python benchmarks/run_all.py   # full sizes
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(bench_dir)
+    src_dir = os.path.join(repo_root, "src")
+
+    env = dict(os.environ)
+    env.setdefault("REPRO_BENCH_FAST", "1")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+
+    suites = sorted(glob.glob(os.path.join(bench_dir, "bench_*.py")))
+    if not suites:
+        print("no benchmark suites found", file=sys.stderr)
+        return 1
+
+    failures = []
+    for path in suites:
+        name = os.path.basename(path)
+        print(f"=== {name}", flush=True)
+        completed = subprocess.run(
+            [sys.executable, "-m", "pytest", "-q", path], env=env, cwd=repo_root
+        )
+        if completed.returncode != 0:
+            failures.append(name)
+
+    if failures:
+        print(f"{len(failures)} benchmark suite(s) FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(suites)} benchmark suites passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,8 +79,16 @@ def measure_nab_throughput(
     inputs: Sequence[bytes],
     fault_model: FaultModel | None = None,
     coding_seed: int = 0,
+    analysis: CapacityAnalysis | None = None,
 ) -> ThroughputMeasurement:
-    """Run NAB on ``inputs`` and return measured throughput plus analytical bounds."""
+    """Run NAB on ``inputs`` and return measured throughput plus analytical bounds.
+
+    Args:
+        analysis: Optional precomputed analytical bounds for ``graph``.  Pass
+            this when measuring the same network repeatedly (sweeps, the
+            amortisation curve) so the Gamma-family construction is not
+            re-run per measurement; when omitted it is computed here.
+    """
     fault_model = fault_model if fault_model is not None else FaultModel()
     nab = NetworkAwareBroadcast(
         graph, source, max_faults, fault_model=fault_model, coding_seed=coding_seed
@@ -88,7 +96,8 @@ def measure_nab_throughput(
     run = nab.run(list(inputs))
     verify_agreement_and_validity(run, inputs, fault_model.is_faulty(source))
     payload_bits = sum(8 * len(value) for value in inputs)
-    analysis = analyse_network(graph, source, max_faults)
+    if analysis is None:
+        analysis = analyse_network(graph, source, max_faults)
     total_time = run.total_elapsed if run.total_elapsed > 0 else Fraction(1)
     return ThroughputMeasurement(
         instances=len(inputs),
@@ -116,6 +125,7 @@ def amortization_curve(
     argument predicts.
     """
     measurements = []
+    analysis = analyse_network(graph, source, max_faults)
     for count in instance_counts:
         inputs = [
             bytes(((17 * index + offset) % 256) for offset in range(value_length))
@@ -123,6 +133,8 @@ def amortization_curve(
         ]
         model = fault_model if fault_model is not None else FaultModel()
         measurements.append(
-            measure_nab_throughput(graph, source, max_faults, inputs, fault_model=model)
+            measure_nab_throughput(
+                graph, source, max_faults, inputs, fault_model=model, analysis=analysis
+            )
         )
     return measurements

@@ -26,6 +26,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.exceptions import ProtocolError
+from repro.graph.flow_cache import graph_signature
 from repro.graph.mincut import broadcast_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.types import Edge, NodeId
@@ -76,8 +77,21 @@ def construct_gamma_family(
         for size in range(0, max_faults + 1)
         for candidate in combinations(graph.nodes(), size)
     ]
+    full_copy: NetworkGraph | None = None
     for faulty_set in candidates:
         removed_edges = _edges_incident_on(graph, faulty_set)
+        if not removed_edges:
+            # Nothing removed: every candidate set explains the empty edge
+            # set, so no node is certainly faulty and Psi_W is the full
+            # graph itself.  One detached *frozen* copy (never the caller's
+            # graph object, which may be mutated later) is shared by all
+            # such candidates instead of rebuilding an identical graph per
+            # set; freezing makes the sharing safe against caller mutation.
+            if graph.node_count() >= 2:
+                if full_copy is None:
+                    full_copy = graph.copy().freeze()
+                family[faulty_set] = full_copy
+            continue
         explaining = _explaining_sets(graph, removed_edges, max_faults)
         if not explaining:
             continue
@@ -103,9 +117,15 @@ def gamma_star(graph: NetworkGraph, source: NodeId, max_faults: int) -> int:
     family = construct_gamma_family(graph, source, max_faults)
     if not family:
         raise ProtocolError("the Gamma family is empty; gamma* is undefined")
-    values: List[int] = []
+    # Distinct fault sets frequently produce structurally identical candidate
+    # graphs; deduplicate on the canonical signature so each unique graph is
+    # solved once (the min-cut cache then absorbs repeats across calls too).
+    unique: Dict[tuple, NetworkGraph] = {}
     for candidate_graph in family.values():
-        values.append(broadcast_mincut(candidate_graph, source))
+        unique.setdefault(graph_signature(candidate_graph), candidate_graph)
+    values: List[int] = [
+        broadcast_mincut(candidate_graph, source) for candidate_graph in unique.values()
+    ]
     return min(values)
 
 

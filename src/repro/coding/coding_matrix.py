@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, Tuple
 
 from repro.exceptions import ProtocolError
-from repro.gf.field import GF2m
+from repro.gf.field import GF2m, get_field
 from repro.gf.matrix import GFMatrix
 from repro.graph.network_graph import NetworkGraph
 from repro.types import Edge
@@ -100,7 +100,9 @@ def generate_coding_scheme(
         raise ProtocolError(f"rho must be >= 1, got {rho}")
     if symbol_bits < 1:
         raise ProtocolError(f"symbol_bits must be >= 1, got {symbol_bits}")
-    field = GF2m(symbol_bits)
+    # The shared field instance reuses the lazily built arithmetic tables
+    # across instances and schemes (see repro.gf.field.get_field).
+    field = get_field(symbol_bits)
     matrices: Dict[Edge, GFMatrix] = {}
     for tail, head, capacity in graph.edges():
         rng = _edge_rng(seed, instance, (tail, head))
@@ -128,6 +130,4 @@ def encode_value(scheme: CodingScheme, symbols: Tuple[int, ...] | list, edge: Ed
         raise ProtocolError(
             f"value has {len(symbols)} symbols but the scheme uses rho={scheme.rho}"
         )
-    row = GFMatrix.row_vector(scheme.field, list(symbols))
-    coded = row.matmul(scheme.matrix_for(edge))
-    return coded.row(0)
+    return scheme.matrix_for(edge).vecmat(symbols)

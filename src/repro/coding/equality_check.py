@@ -111,6 +111,23 @@ def run_equality_check(
     symbol_vectors: Dict[NodeId, List[int]] = {
         node: value_to_symbols(values[node], total_bits, scheme) for node in nodes
     }
+    symbol_keys: Dict[NodeId, Tuple[int, ...]] = {
+        node: tuple(vector) for node, vector in symbol_vectors.items()
+    }
+
+    # Per-run memo of encodings: a sender's transmission on edge e and a
+    # receiver's expectation for e both encode some node's symbol vector with
+    # the same C_e, and in the (common) case where the two nodes hold the same
+    # value the encoding is computed once instead of twice.
+    encode_cache: Dict[Tuple[Tuple[int, ...], Edge], List[int]] = {}
+
+    def _coded(node: NodeId, edge: Edge) -> List[int]:
+        key = (symbol_keys[node], edge)
+        coded = encode_cache.get(key)
+        if coded is None:
+            coded = encode_value(scheme, symbol_vectors[node], edge)
+            encode_cache[key] = coded
+        return coded
 
     sent_vectors: Dict[Edge, Tuple[int, ...]] = {}
     expected_vectors: Dict[Edge, Tuple[int, ...]] = {}
@@ -118,11 +135,12 @@ def run_equality_check(
 
     # Step 1: every node transmits its coded symbols on every outgoing edge.
     for tail, head, capacity in instance_graph.edges():
-        true_vector = encode_value(scheme, symbol_vectors[tail], (tail, head))
+        true_vector = _coded(tail, (tail, head))
         outgoing: Sequence[int] = true_vector
         if fault_model.is_faulty(tail):
+            # The hook gets a copy: the true vector is cached and shared.
             outgoing = list(
-                strategy.equality_check_vector(instance, tail, head, true_vector)
+                strategy.equality_check_vector(instance, tail, head, list(true_vector))
             )
             if len(outgoing) != capacity:
                 raise ProtocolError(
@@ -142,7 +160,7 @@ def run_equality_check(
     for node in nodes:
         mismatch = False
         for tail, head, _capacity in instance_graph.in_edges(node):
-            expected = tuple(encode_value(scheme, symbol_vectors[node], (tail, head)))
+            expected = tuple(_coded(node, (tail, head)))
             expected_vectors[(tail, head)] = expected
             if received_vectors[(tail, head)] != expected:
                 mismatch = True

@@ -59,6 +59,10 @@ def dispute_free_subgraphs(
             f"cannot form {subgraph_size}-node subgraphs from a {len(nodes)}-node graph"
         )
     dispute_set: Set[NodePair] = {frozenset(pair) for pair in disputes}
+    if not dispute_set:
+        # Common case (no disputes yet): every subset qualifies, skip the
+        # quadratic per-subset pair scan.
+        return [tuple(subset) for subset in combinations(nodes, subgraph_size)]
     members: List[Tuple[NodeId, ...]] = []
     for subset in combinations(nodes, subgraph_size):
         if _contains_disputed_pair(subset, dispute_set):

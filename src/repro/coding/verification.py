@@ -60,26 +60,31 @@ def build_check_matrix(
     block_count = len(nodes) - 1
     rho = scheme.rho
     rows = block_count * rho
-    columns: List[List[int]] = []
     subgraph = graph.induced_subgraph(nodes)
-    for tail, head, capacity in subgraph.edges():
-        matrix = scheme.matrix_for((tail, head))
-        for column_index in range(capacity):
-            column = [0] * rows
-            coding_column = matrix.column(column_index)
-            if tail != reference:
-                base = node_index[tail] * rho
-                for offset in range(rho):
-                    column[base + offset] ^= coding_column[offset]
-            if head != reference:
-                base = node_index[head] * rho
-                for offset in range(rho):
-                    column[base + offset] ^= coding_column[offset]
-            columns.append(column)
-    if not columns:
+    edge_list = list(subgraph.edges())
+    total_columns = sum(capacity for _tail, _head, capacity in edge_list)
+    if total_columns == 0:
         raise ProtocolError("subgraph contains no edges; equality check cannot constrain it")
-    data = [[columns[c][r] for c in range(len(columns))] for r in range(rows)]
-    return GFMatrix(scheme.field, data)
+    # Fill C_H row-major directly (one block row per (node, symbol) pair and
+    # one column per coded symbol), XOR-ing each coding-matrix row into the
+    # tail and head blocks, and hand the rows to the trusted constructor —
+    # every entry comes straight out of already-validated coding matrices.
+    data: List[List[int]] = [[0] * total_columns for _ in range(rows)]
+    base = 0
+    for tail, head, capacity in edge_list:
+        matrix = scheme.matrix_for((tail, head))
+        for offset in range(rho):
+            coding_row = matrix.row(offset)
+            if tail != reference:
+                target = data[node_index[tail] * rho + offset]
+                for column_index in range(capacity):
+                    target[base + column_index] ^= coding_row[column_index]
+            if head != reference:
+                target = data[node_index[head] * rho + offset]
+                for column_index in range(capacity):
+                    target[base + column_index] ^= coding_row[column_index]
+        base += capacity
+    return GFMatrix._trusted(scheme.field, data)
 
 
 def subgraph_is_constrained(

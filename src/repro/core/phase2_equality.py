@@ -127,15 +127,16 @@ def _agreed_flag_vector(
     """
     if not per_receiver:
         raise ProtocolError("no fault-free receiver observed the flag broadcast")
-    vectors = [tuple(sorted(vector.items(), key=lambda kv: kv[0])) for vector in per_receiver.values()]
-    reference = vectors[0]
-    for other in vectors[1:]:
-        if other != reference:
+    # Dict equality is order-insensitive, so the vectors can be compared
+    # directly without materialising a sorted tuple per receiver.
+    receivers = iter(per_receiver.values())
+    reference_vector = next(receivers)
+    for other in receivers:
+        if other != reference_vector:
             raise ProtocolError(
                 "fault-free nodes disagree on announced flags; classical broadcast violated"
             )
     agreed: Dict[NodeId, bool] = {}
-    reference_vector = dict(reference)
     for node in participants:
         value = reference_vector.get(node)
         agreed[node] = bool(value) if value is not None else False

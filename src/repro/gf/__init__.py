@@ -3,13 +3,28 @@
 The equality-check algorithm of the paper operates on symbols drawn from
 ``GF(2^(L / rho_k))`` where ``L`` is the broadcast input size in bits.  Because
 ``L`` can be large, the field degree is not bounded by machine-word sizes;
-this package therefore implements table-free, exact arithmetic on Python
-integers interpreted as polynomials over GF(2).
+this package implements exact arithmetic on Python integers interpreted as
+polynomials over GF(2).
+
+Performance notes:
+    Fields of degree ``m <= 16`` lazily build discrete log/antilog/inverse
+    lookup tables on first multiplicative use; the tables are shared across
+    all instances of the same ``(degree, modulus)`` field through a
+    module-level cache, and :func:`repro.gf.field.get_field` additionally
+    canonicalises the field *instances* themselves.  The dense-matrix kernels
+    in :mod:`repro.gf.matrix` bind those tables to local names inside their
+    inner loops and construct results through a trusted (validation-free)
+    internal constructor, which makes matrix products and Gaussian
+    elimination over table-backed fields an order of magnitude faster than
+    the polynomial path (see ``benchmarks/bench_gf_kernels.py``).  Degrees
+    above 16 transparently use the original polynomial arithmetic, which is
+    also retained on every field as the correctness oracle for tests.
 
 Public surface:
 
 * :class:`repro.gf.field.GF2m` — a field of characteristic 2 and arbitrary
-  degree ``m >= 1``.
+  degree ``m >= 1``; :func:`repro.gf.field.get_field` — shared cached
+  instances per ``(degree, modulus)``.
 * :class:`repro.gf.matrix.GFMatrix` — dense matrices over such a field with
   multiplication, rank, determinant, inversion, solving, and random sampling.
 * :mod:`repro.gf.polynomials` — irreducible-polynomial tables and search.
@@ -17,13 +32,14 @@ Public surface:
   back, as used to split an ``L``-bit value into ``rho`` field symbols.
 """
 
-from repro.gf.field import GF2m
+from repro.gf.field import GF2m, get_field
 from repro.gf.matrix import GFMatrix
 from repro.gf.polynomials import irreducible_polynomial, is_irreducible
 from repro.gf.symbols import bits_to_symbols, bytes_to_symbols, symbols_to_bytes
 
 __all__ = [
     "GF2m",
+    "get_field",
     "GFMatrix",
     "irreducible_polynomial",
     "is_irreducible",

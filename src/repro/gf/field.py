@@ -7,6 +7,20 @@ an object) keeps matrix algebra over the field reasonably fast in pure Python
 and makes (de)serialisation to bit strings trivial, which is exactly what the
 equality-check protocol needs.
 
+Performance notes:
+    For degrees ``m <= 16`` (the symbol sizes all the hot equality-check and
+    verification paths actually use), the field lazily builds discrete
+    log / antilog tables on first multiplicative use, after which ``mul`` /
+    ``inv`` / ``div`` / ``pow`` / ``square`` / ``dot`` are plain list lookups.
+    The tables are shared process-wide through a module-level cache keyed on
+    ``(degree, modulus)``, so constructing many ``GF2m(8)`` instances (one per
+    NAB instance, say) pays the table build exactly once.  Larger degrees keep
+    the original polynomial arithmetic, which also remains available on every
+    field as the correctness oracle (:meth:`GF2m._mul_fallback`,
+    :meth:`GF2m._inv_fallback`).  :func:`get_field` returns a canonical cached
+    instance per ``(degree, modulus)`` for callers that construct fields in a
+    loop.
+
 Example:
     >>> field = GF2m(8)
     >>> field.mul(0x53, 0xCA)      # AES field uses a different modulus, value differs
@@ -18,7 +32,7 @@ Example:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import FieldError
 from repro.gf.polynomials import (
@@ -29,6 +43,75 @@ from repro.gf.polynomials import (
     poly_mod,
     poly_mul,
 )
+
+# Largest degree for which log/antilog tables are built (2^16 entries tops).
+_TABLE_MAX_DEGREE = 16
+
+# (degree, modulus) -> (exp, log, inv) lookup tables, shared by all instances
+# of the same field so the build cost is paid once per process.
+_TABLE_CACHE: Dict[Tuple[int, int], Tuple[List[int], List[int], List[int]]] = {}
+
+# (degree, modulus) -> canonical GF2m instance (see get_field).
+_FIELD_CACHE: Dict[Tuple[int, int], "GF2m"] = {}
+
+
+def _build_tables(degree: int, modulus: int) -> Tuple[List[int], List[int], List[int]]:
+    """Build ``(exp, log, inv)`` tables for the field ``GF(2^degree)``.
+
+    ``exp`` holds two copies of the antilog table back to back so that
+    ``exp[log[a] + log[b]]`` never needs a ``% (order - 1)`` reduction.
+    ``log[0]`` and ``inv[0]`` are unused placeholders (zero has neither).
+    """
+    order = 1 << degree
+    group = order - 1
+    if group == 1:
+        return [1, 1], [0, 0], [0, 1]
+    powers: List[int] = []
+    for candidate in range(2, order):
+        powers = [1]
+        value = candidate
+        while value != 1 and len(powers) <= group:
+            powers.append(value)
+            value = poly_mod(poly_mul(value, candidate), modulus)
+        if len(powers) == group:
+            break
+    else:  # pragma: no cover - impossible for an irreducible modulus
+        raise FieldError(f"no generator found for GF(2^{degree})")
+    exp = powers + powers
+    log = [0] * order
+    for index, element in enumerate(powers):
+        log[element] = index
+    inv = [0] * order
+    for element in range(1, order):
+        inv[element] = exp[group - log[element]]
+    return exp, log, inv
+
+
+def get_field(degree: int, modulus: int | None = None) -> "GF2m":
+    """A canonical shared :class:`GF2m` instance for ``(degree, modulus)``.
+
+    Repeated calls with the same parameters return the *same* object, so its
+    lazily built arithmetic tables (and any caller-side caches keyed on
+    identity) are reused across coding schemes, instances and benchmarks.
+    """
+    if degree < 1:
+        raise FieldError(f"field degree must be >= 1, got {degree}")
+    default = modulus is None
+    if default:
+        # Resolve the default modulus for the cache key (a cheap cached
+        # table lookup), so the None-spelling and the explicit-spelling of
+        # the same field share one canonical instance regardless of call
+        # order.
+        modulus = irreducible_polynomial(degree)
+    key = (degree, modulus)
+    field = _FIELD_CACHE.get(key)
+    if field is None:
+        # Construct through the default path when the caller did not supply
+        # a modulus: an explicit modulus is re-validated for irreducibility,
+        # which is prohibitively slow for large degrees.
+        field = GF2m(degree) if default else GF2m(degree, modulus)
+        _FIELD_CACHE[key] = field
+    return field
 
 
 class GF2m:
@@ -46,7 +129,7 @@ class GF2m:
             not an irreducible polynomial of the requested degree.
     """
 
-    __slots__ = ("degree", "modulus", "order", "_mask")
+    __slots__ = ("degree", "modulus", "order", "_mask", "_exp", "_log", "_inv_t")
 
     def __init__(self, degree: int, modulus: int | None = None) -> None:
         if degree < 1:
@@ -64,6 +147,41 @@ class GF2m:
         self.modulus = modulus
         self.order = 1 << degree
         self._mask = self.order - 1
+        # Lazily populated log/antilog/inverse tables (degree <= 16 only).
+        self._exp: List[int] | None = None
+        self._log: List[int] | None = None
+        self._inv_t: List[int] | None = None
+
+    # ------------------------------------------------------------------ tables
+
+    def _ensure_tables(self) -> bool:
+        """Build (or fetch from the shared cache) the lookup tables.
+
+        Returns ``True`` iff tables are available for this field's degree.
+        """
+        if self._exp is not None:
+            return True
+        if self.degree > _TABLE_MAX_DEGREE:
+            return False
+        key = (self.degree, self.modulus)
+        tables = _TABLE_CACHE.get(key)
+        if tables is None:
+            tables = _build_tables(self.degree, self.modulus)
+            _TABLE_CACHE[key] = tables
+        self._exp, self._log, self._inv_t = tables
+        return True
+
+    def tables(self) -> Tuple[List[int], List[int], List[int]] | None:
+        """The ``(exp, log, inv)`` lookup tables, or ``None`` for large degrees.
+
+        The ``exp`` table is doubled in length so ``exp[log[a] + log[b]]``
+        is valid without reduction; ``log[0]`` / ``inv[0]`` are placeholders.
+        Hot matrix kernels bind these lists locally to skip per-element
+        method dispatch.
+        """
+        if self._ensure_tables():
+            return self._exp, self._log, self._inv_t  # type: ignore[return-value]
+        return None
 
     # ------------------------------------------------------------------ basics
 
@@ -102,7 +220,19 @@ class GF2m:
         return a
 
     def mul(self, a: int, b: int) -> int:
-        """Field multiplication: carry-less product reduced by the modulus."""
+        """Field multiplication (table lookup when available)."""
+        if a == 0 or b == 0:
+            return 0
+        log = self._log
+        if log is None:
+            if not self._ensure_tables():
+                return self._mul_fallback(a, b)
+            log = self._log
+        return self._exp[log[a] + log[b]]  # type: ignore[index]
+
+    def _mul_fallback(self, a: int, b: int) -> int:
+        """Polynomial multiplication path: the fallback for large degrees and
+        the correctness oracle the table path is tested against."""
         if a == 0 or b == 0:
             return 0
         if a == 1:
@@ -112,8 +242,15 @@ class GF2m:
         return poly_mod(poly_mul(a, b), self.modulus)
 
     def square(self, a: int) -> int:
-        """Field squaring (a special case of :meth:`mul`)."""
-        return self.mul(a, a)
+        """Field squaring (a table lookup when tables are available)."""
+        if a == 0:
+            return 0
+        log = self._log
+        if log is None:
+            if not self._ensure_tables():
+                return self._mul_fallback(a, a)
+            log = self._log
+        return self._exp[2 * log[a]]  # type: ignore[index]
 
     def pow(self, base: int, exponent: int) -> int:
         """Raise ``base`` to an integer ``exponent`` (which may be negative).
@@ -121,11 +258,19 @@ class GF2m:
         Raises:
             FieldError: if the base is zero and the exponent is negative.
         """
+        if base == 0:
+            if exponent < 0:
+                raise FieldError("zero has no multiplicative inverse")
+            return 1 if exponent == 0 else 0
+        if self._ensure_tables():
+            # base^(order-1) = 1, so reduce the exponent mod the group order;
+            # Python's % maps negative exponents into range as well.
+            group = self.order - 1
+            return self._exp[(self._log[base] * exponent) % group]  # type: ignore[index]
         if exponent < 0:
             base = self.inv(base)
             exponent = -exponent
         result = 1
-        base = base
         while exponent:
             if exponent & 1:
                 result = self.mul(result, base)
@@ -134,7 +279,19 @@ class GF2m:
         return result
 
     def inv(self, a: int) -> int:
-        """Multiplicative inverse via the extended Euclidean algorithm.
+        """Multiplicative inverse (table lookup, or extended Euclid fallback).
+
+        Raises:
+            FieldError: if ``a`` is zero.
+        """
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        if self._inv_t is not None or self._ensure_tables():
+            return self._inv_t[a]  # type: ignore[index]
+        return self._inv_fallback(a)
+
+    def _inv_fallback(self, a: int) -> int:
+        """Extended Euclidean inverse: the fallback and correctness oracle.
 
         Raises:
             FieldError: if ``a`` is zero.
@@ -165,13 +322,22 @@ class GF2m:
         """Inner product of two equal-length vectors of field elements.
 
         Raises:
-            MatrixError-like ValueError: if the lengths differ.
+            FieldError: if the lengths differ.
         """
         if len(left) != len(right):
             raise FieldError(f"dot product length mismatch: {len(left)} vs {len(right)}")
         accumulator = 0
-        for a, b in zip(left, right):
-            accumulator ^= self.mul(a, b)
+        tables = self.tables()
+        if tables is not None:
+            exp, log, _ = tables
+            for a, b in zip(left, right):
+                if a and b:
+                    accumulator ^= exp[log[a] + log[b]]
+        else:
+            mul = self._mul_fallback
+            for a, b in zip(left, right):
+                if a and b:
+                    accumulator ^= mul(a, b)
         return accumulator
 
     def vector_add(self, left: Sequence[int], right: Sequence[int]) -> List[int]:
@@ -182,7 +348,8 @@ class GF2m:
 
     def scalar_mul(self, scalar: int, vector: Iterable[int]) -> List[int]:
         """Multiply every component of ``vector`` by ``scalar``."""
-        return [self.mul(scalar, component) for component in vector]
+        mul = self.mul
+        return [mul(scalar, component) for component in vector]
 
     # ------------------------------------------------------------------ random
 

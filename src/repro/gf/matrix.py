@@ -9,6 +9,16 @@ multiplication, transpose, horizontal/vertical stacking, Gaussian elimination
 
 Matrices are stored as lists of row lists of plain integers, the same element
 representation used by :class:`repro.gf.field.GF2m`.
+
+Performance notes:
+    The hot kernels (``matmul``, ``vecmat``, Gaussian elimination) bind the
+    field's log/antilog tables to local names and work on the flat row lists
+    directly, so the inner loops contain no attribute or method dispatch.
+    Results produced by internal operations are wrapped with the trusted
+    constructor :meth:`GFMatrix._trusted`, which skips the per-entry
+    re-validation the public constructor performs on external data.  Fields
+    too large for tables (degree > 16) transparently use the polynomial
+    arithmetic instead; both paths compute identical field values.
 """
 
 from __future__ import annotations
@@ -48,18 +58,35 @@ class GFMatrix:
     # ------------------------------------------------------------ constructors
 
     @classmethod
+    def _trusted(cls, field: GF2m, rows: List[List[int]]) -> "GFMatrix":
+        """Internal constructor for already-validated row lists.
+
+        Skips the copy and the per-entry validation of ``__init__``; the rows
+        are adopted as-is, so callers must hand over freshly built lists they
+        will not mutate afterwards.
+        """
+        matrix = object.__new__(cls)
+        matrix.field = field
+        matrix.rows = len(rows)
+        matrix.cols = len(rows[0])
+        matrix._data = rows
+        return matrix
+
+    @classmethod
     def zeros(cls, field: GF2m, rows: int, cols: int) -> "GFMatrix":
         """An all-zero matrix of the given shape."""
         if rows < 1 or cols < 1:
             raise MatrixError(f"invalid shape ({rows}, {cols})")
-        return cls(field, [[0] * cols for _ in range(rows)])
+        return cls._trusted(field, [[0] * cols for _ in range(rows)])
 
     @classmethod
     def identity(cls, field: GF2m, size: int) -> "GFMatrix":
         """The ``size x size`` identity matrix."""
         if size < 1:
             raise MatrixError(f"identity size must be >= 1, got {size}")
-        return cls(field, [[1 if r == c else 0 for c in range(size)] for r in range(size)])
+        return cls._trusted(
+            field, [[1 if r == c else 0 for c in range(size)] for r in range(size)]
+        )
 
     @classmethod
     def from_rows(cls, field: GF2m, rows: Sequence[Sequence[int]]) -> "GFMatrix":
@@ -81,7 +108,10 @@ class GFMatrix:
         """A matrix whose entries are independent uniform field elements."""
         if rows < 1 or cols < 1:
             raise MatrixError(f"invalid shape ({rows}, {cols})")
-        return cls(field, [[field.random_element(rng) for _ in range(cols)] for _ in range(rows)])
+        draw = field.random_element
+        return cls._trusted(
+            field, [[draw(rng) for _ in range(cols)] for _ in range(rows)]
+        )
 
     # ---------------------------------------------------------------- accessors
 
@@ -121,7 +151,7 @@ class GFMatrix:
         self._require_same_field(other)
         if self.shape != other.shape:
             raise MatrixError(f"shape mismatch for add: {self.shape} vs {other.shape}")
-        return GFMatrix(
+        return GFMatrix._trusted(
             self.field,
             [
                 [a ^ b for a, b in zip(row_a, row_b)]
@@ -132,8 +162,22 @@ class GFMatrix:
     def scalar_mul(self, scalar: int) -> "GFMatrix":
         """Multiply every entry by a field scalar."""
         self.field.validate(scalar)
-        mul = self.field.mul
-        return GFMatrix(self.field, [[mul(scalar, entry) for entry in row] for row in self._data])
+        if scalar == 0:
+            return GFMatrix.zeros(self.field, self.rows, self.cols)
+        if scalar == 1:
+            return GFMatrix._trusted(self.field, [list(row) for row in self._data])
+        tables = self.field.tables()
+        if tables is not None:
+            exp, log, _ = tables
+            log_scalar = log[scalar]
+            data = [
+                [exp[log_scalar + log[entry]] if entry else 0 for entry in row]
+                for row in self._data
+            ]
+        else:
+            mul = self.field._mul_fallback
+            data = [[mul(scalar, entry) for entry in row] for row in self._data]
+        return GFMatrix._trusted(self.field, data)
 
     def matmul(self, other: "GFMatrix") -> "GFMatrix":
         """Matrix product ``self @ other``.
@@ -144,33 +188,81 @@ class GFMatrix:
         self._require_same_field(other)
         if self.cols != other.rows:
             raise MatrixError(f"shape mismatch for matmul: {self.shape} @ {other.shape}")
-        mul = self.field.mul
-        other_cols = [other.column(c) for c in range(other.cols)]
-        product = []
-        for row in self._data:
-            product_row = []
-            for col in other_cols:
-                accumulator = 0
-                for a, b in zip(row, col):
-                    if a and b:
-                        accumulator ^= mul(a, b)
-                product_row.append(accumulator)
-            product.append(product_row)
-        return GFMatrix(self.field, product)
+        columns = list(zip(*other._data))
+        product: List[List[int]] = []
+        tables = self.field.tables()
+        if tables is not None:
+            exp, log, _ = tables
+            for row in self._data:
+                product_row = []
+                for col in columns:
+                    accumulator = 0
+                    for a, b in zip(row, col):
+                        if a and b:
+                            accumulator ^= exp[log[a] + log[b]]
+                    product_row.append(accumulator)
+                product.append(product_row)
+        else:
+            mul = self.field._mul_fallback
+            for row in self._data:
+                product_row = []
+                for col in columns:
+                    accumulator = 0
+                    for a, b in zip(row, col):
+                        if a and b:
+                            accumulator ^= mul(a, b)
+                    product_row.append(accumulator)
+                product.append(product_row)
+        return GFMatrix._trusted(self.field, product)
 
     def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
         return self.matmul(other)
 
+    def vecmat(self, vector: Sequence[int]) -> List[int]:
+        """Row-vector-times-matrix product ``vector @ self`` as a plain list.
+
+        The workhorse of per-edge encoding (``Y_e = X_i C_e``): one output
+        symbol per column, without building intermediate 1 x n matrices.
+
+        Raises:
+            MatrixError: if ``len(vector)`` does not equal the row count.
+        """
+        if len(vector) != self.rows:
+            raise MatrixError(
+                f"vecmat length mismatch: vector of {len(vector)} vs {self.rows} rows"
+            )
+        validate = self.field.validate
+        for value in vector:
+            validate(value)
+        result = [0] * self.cols
+        tables = self.field.tables()
+        if tables is not None:
+            exp, log, _ = tables
+            for value, row in zip(vector, self._data):
+                if value:
+                    log_value = log[value]
+                    for index, entry in enumerate(row):
+                        if entry:
+                            result[index] ^= exp[log_value + log[entry]]
+        else:
+            mul = self.field._mul_fallback
+            for value, row in zip(vector, self._data):
+                if value:
+                    for index, entry in enumerate(row):
+                        if entry:
+                            result[index] ^= mul(value, entry)
+        return result
+
     def transpose(self) -> "GFMatrix":
         """The transposed matrix."""
-        return GFMatrix(self.field, [self.column(c) for c in range(self.cols)])
+        return GFMatrix._trusted(self.field, [list(col) for col in zip(*self._data)])
 
     def hstack(self, other: "GFMatrix") -> "GFMatrix":
         """Concatenate another matrix with the same row count to the right."""
         self._require_same_field(other)
         if self.rows != other.rows:
             raise MatrixError(f"hstack row mismatch: {self.rows} vs {other.rows}")
-        return GFMatrix(
+        return GFMatrix._trusted(
             self.field, [row_a + row_b for row_a, row_b in zip(self._data, other._data)]
         )
 
@@ -179,7 +271,10 @@ class GFMatrix:
         self._require_same_field(other)
         if self.cols != other.cols:
             raise MatrixError(f"vstack column mismatch: {self.cols} vs {other.cols}")
-        return GFMatrix(self.field, self.to_lists() + other.to_lists())
+        return GFMatrix._trusted(
+            self.field,
+            [list(row) for row in self._data] + [list(row) for row in other._data],
+        )
 
     def submatrix(self, row_indices: Iterable[int], col_indices: Iterable[int]) -> "GFMatrix":
         """Extract the submatrix with the given row and column indices."""
@@ -187,8 +282,9 @@ class GFMatrix:
         col_list = list(col_indices)
         if not row_list or not col_list:
             raise MatrixError("submatrix requires at least one row and one column index")
-        return GFMatrix(
-            self.field, [[self._data[r][c] for c in col_list] for r in row_list]
+        data = self._data
+        return GFMatrix._trusted(
+            self.field, [[data[r][c] for c in col_list] for r in row_list]
         )
 
     # ------------------------------------------------------ Gaussian elimination
@@ -198,36 +294,73 @@ class GFMatrix:
 
         The elimination is performed over a copy; the original is unchanged.
         """
-        field = self.field
+        tables = self.field.tables()
         work = [list(row) for row in self._data]
         pivot_cols: List[int] = []
         swaps = 0
         pivot_row = 0
-        for col in range(self.cols):
-            pivot = None
-            for r in range(pivot_row, self.rows):
-                if work[r][col] != 0:
-                    pivot = r
-                    break
-            if pivot is None:
-                continue
-            if pivot != pivot_row:
-                work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
-                swaps += 1
-            pivot_value = work[pivot_row][col]
-            inv_pivot = field.inv(pivot_value)
-            work[pivot_row] = [field.mul(inv_pivot, entry) for entry in work[pivot_row]]
-            for r in range(self.rows):
-                if r != pivot_row and work[r][col] != 0:
-                    factor = work[r][col]
-                    work[r] = [
-                        entry ^ field.mul(factor, pivot_entry)
-                        for entry, pivot_entry in zip(work[r], work[pivot_row])
+        row_count = self.rows
+        if tables is not None:
+            exp, log, inv = tables
+            for col in range(self.cols):
+                pivot = None
+                for r in range(pivot_row, row_count):
+                    if work[r][col] != 0:
+                        pivot = r
+                        break
+                if pivot is None:
+                    continue
+                if pivot != pivot_row:
+                    work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
+                    swaps += 1
+                pivot_value = work[pivot_row][col]
+                if pivot_value != 1:
+                    log_inv = log[inv[pivot_value]]
+                    work[pivot_row] = [
+                        exp[log_inv + log[entry]] if entry else 0
+                        for entry in work[pivot_row]
                     ]
-            pivot_cols.append(col)
-            pivot_row += 1
-            if pivot_row == self.rows:
-                break
+                pivot_entries = work[pivot_row]
+                for r in range(row_count):
+                    if r != pivot_row:
+                        factor = work[r][col]
+                        if factor:
+                            log_factor = log[factor]
+                            work[r] = [
+                                entry ^ exp[log_factor + log[p]] if p else entry
+                                for entry, p in zip(work[r], pivot_entries)
+                            ]
+                pivot_cols.append(col)
+                pivot_row += 1
+                if pivot_row == row_count:
+                    break
+        else:
+            field = self.field
+            for col in range(self.cols):
+                pivot = None
+                for r in range(pivot_row, row_count):
+                    if work[r][col] != 0:
+                        pivot = r
+                        break
+                if pivot is None:
+                    continue
+                if pivot != pivot_row:
+                    work[pivot_row], work[pivot] = work[pivot], work[pivot_row]
+                    swaps += 1
+                pivot_value = work[pivot_row][col]
+                inv_pivot = field.inv(pivot_value)
+                work[pivot_row] = [field.mul(inv_pivot, entry) for entry in work[pivot_row]]
+                for r in range(row_count):
+                    if r != pivot_row and work[r][col] != 0:
+                        factor = work[r][col]
+                        work[r] = [
+                            entry ^ field.mul(factor, pivot_entry)
+                            for entry, pivot_entry in zip(work[r], work[pivot_row])
+                        ]
+                pivot_cols.append(col)
+                pivot_row += 1
+                if pivot_row == row_count:
+                    break
         return work, pivot_cols, swaps
 
     def rank(self) -> int:
@@ -243,30 +376,56 @@ class GFMatrix:
         """
         if self.rows != self.cols:
             raise MatrixError(f"determinant requires a square matrix, got {self.shape}")
-        field = self.field
+        tables = self.field.tables()
         work = [list(row) for row in self._data]
         det = 1
-        for col in range(self.cols):
-            pivot = None
-            for r in range(col, self.rows):
-                if work[r][col] != 0:
-                    pivot = r
-                    break
-            if pivot is None:
-                return 0
-            if pivot != col:
-                work[col], work[pivot] = work[pivot], work[col]
-                # In characteristic 2, swapping rows does not change the sign.
-            pivot_value = work[col][col]
-            det = field.mul(det, pivot_value)
-            inv_pivot = field.inv(pivot_value)
-            for r in range(col + 1, self.rows):
-                if work[r][col] != 0:
-                    factor = field.mul(work[r][col], inv_pivot)
-                    work[r] = [
-                        entry ^ field.mul(factor, pivot_entry)
-                        for entry, pivot_entry in zip(work[r], work[col])
-                    ]
+        if tables is not None:
+            exp, log, inv = tables
+            for col in range(self.cols):
+                pivot = None
+                for r in range(col, self.rows):
+                    if work[r][col] != 0:
+                        pivot = r
+                        break
+                if pivot is None:
+                    return 0
+                if pivot != col:
+                    work[col], work[pivot] = work[pivot], work[col]
+                    # In characteristic 2, swapping rows does not change the sign.
+                pivot_value = work[col][col]
+                det = exp[log[det] + log[pivot_value]]
+                log_inv = log[inv[pivot_value]]
+                pivot_entries = work[col]
+                for r in range(col + 1, self.rows):
+                    below = work[r][col]
+                    if below:
+                        log_factor = log[exp[log[below] + log_inv]]
+                        work[r] = [
+                            entry ^ exp[log_factor + log[p]] if p else entry
+                            for entry, p in zip(work[r], pivot_entries)
+                        ]
+        else:
+            field = self.field
+            for col in range(self.cols):
+                pivot = None
+                for r in range(col, self.rows):
+                    if work[r][col] != 0:
+                        pivot = r
+                        break
+                if pivot is None:
+                    return 0
+                if pivot != col:
+                    work[col], work[pivot] = work[pivot], work[col]
+                pivot_value = work[col][col]
+                det = field.mul(det, pivot_value)
+                inv_pivot = field.inv(pivot_value)
+                for r in range(col + 1, self.rows):
+                    if work[r][col] != 0:
+                        factor = field.mul(work[r][col], inv_pivot)
+                        work[r] = [
+                            entry ^ field.mul(factor, pivot_entry)
+                            for entry, pivot_entry in zip(work[r], work[col])
+                        ]
         return det
 
     def is_invertible(self) -> bool:
@@ -285,7 +444,7 @@ class GFMatrix:
         reduced, pivot_cols, _ = augmented._eliminated()
         if pivot_cols[: self.rows] != list(range(self.rows)) or len(pivot_cols) < self.rows:
             raise MatrixError("matrix is singular and has no inverse")
-        return GFMatrix(self.field, [row[self.cols :] for row in reduced])
+        return GFMatrix._trusted(self.field, [row[self.cols :] for row in reduced])
 
     def solve(self, rhs: "GFMatrix") -> "GFMatrix":
         """Solve ``self @ X = rhs`` for a square, invertible ``self``.

@@ -213,9 +213,12 @@ def irreducible_polynomial(degree: int) -> int:
     if cached is not None:
         return cached
     if degree in _LOW_WEIGHT_EXPONENTS:
+        # The tabulated entries are fixed constants; every entry (including
+        # the large degrees) is verified by
+        # tests/test_gf_tables.py::test_tabulated_irreducible_polynomials_are_irreducible.
+        # Re-running the Rabin test here cost ~1s per process for the large
+        # degrees (256, 1024) the equality check uses for big payloads.
         poly = _poly_from_exponents(degree, _LOW_WEIGHT_EXPONENTS[degree])
-        if not is_irreducible(poly):  # pragma: no cover - table sanity guard
-            raise FieldError(f"tabulated polynomial for degree {degree} is not irreducible")
         _IRREDUCIBLE_CACHE[degree] = poly
         return poly
     poly = _search_irreducible(degree)

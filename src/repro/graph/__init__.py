@@ -10,6 +10,9 @@ The paper models the network as a synchronous point-to-point network
   ``\\bar H`` with summed link capacities used to define ``U_k``.
 * :mod:`repro.graph.maxflow` / :mod:`repro.graph.mincut` — Dinic's max-flow and
   the min-cut quantities ``MINCUT(G, i, j)`` and ``gamma(G, source)``.
+* :mod:`repro.graph.flow_cache` — the process-wide LRU cache of solved
+  min-cut values keyed on canonical graph signatures; the capacity layer's
+  repeated sweeps hit this instead of re-running Dinic.
 * :mod:`repro.graph.connectivity` — vertex connectivity and the ``2f + 1``
   connectivity requirement, plus vertex-disjoint path extraction.
 * :mod:`repro.graph.spanning_trees` — constructive packing of capacity-disjoint
@@ -19,7 +22,12 @@ The paper models the network as a synchronous point-to-point network
 """
 
 from repro.graph.connectivity import vertex_connectivity, vertex_disjoint_paths
-from repro.graph.maxflow import max_flow_value
+from repro.graph.flow_cache import (
+    clear_mincut_cache,
+    graph_signature,
+    mincut_cache_stats,
+)
+from repro.graph.maxflow import all_max_flow_values, max_flow_value
 from repro.graph.mincut import broadcast_mincut, min_pairwise_undirected_mincut, st_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.graph.spanning_trees import pack_arborescences
@@ -29,9 +37,13 @@ __all__ = [
     "NetworkGraph",
     "UndirectedView",
     "max_flow_value",
+    "all_max_flow_values",
     "st_mincut",
     "broadcast_mincut",
     "min_pairwise_undirected_mincut",
+    "graph_signature",
+    "clear_mincut_cache",
+    "mincut_cache_stats",
     "vertex_connectivity",
     "vertex_disjoint_paths",
     "pack_arborescences",

@@ -1,0 +1,152 @@
+"""Memoised min-cut evaluation keyed on canonical graph signatures.
+
+The capacity layer solves the *same* max-flow problems over and over:
+``gamma_star`` sweeps a family of candidate subgraphs many of which coincide,
+``rho_star`` / ``compute_uk`` revisit identical induced subgraphs across
+instances, and benchmark sweeps re-analyse one fixed network per parameter
+point.  Dinic is fast, but re-solving identical flows dominates wall time at
+scale.  This module provides a process-wide LRU cache mapping a *canonical
+graph signature* (sorted nodes + sorted capacitated edges) plus the query
+endpoints to the solved value, so any structurally identical query is a
+dictionary lookup.
+
+The cache is bounded (LRU eviction) and purely value-based: ``NetworkGraph``
+instances are never retained, only their signatures, so caching cannot leak
+graphs or observe mutation.  ``clear_mincut_cache`` resets it (useful in
+tests and long-lived processes switching workloads).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.maxflow import all_max_flow_values, max_flow_value
+from repro.graph.network_graph import NetworkGraph
+from repro.types import NodeId
+
+#: Default bound on the number of cached flow solutions.
+DEFAULT_MAX_ENTRIES = 8192
+
+#: Canonical signature type: (sorted node tuple, sorted (tail, head, cap) tuple).
+GraphSignature = Tuple[Tuple[NodeId, ...], Tuple[Tuple[NodeId, NodeId, int], ...]]
+
+
+def graph_signature(graph: NetworkGraph) -> GraphSignature:
+    """A hashable canonical signature of a graph's nodes, edges and capacities.
+
+    Two graphs have equal signatures iff they are equal as capacitated
+    directed graphs, so the signature is a sound cache key for any quantity
+    determined by graph structure alone.
+    """
+    return (tuple(graph.nodes()), tuple(graph.edges()))
+
+
+class MinCutCache:
+    """A bounded LRU cache from hashable flow-query keys to solved values."""
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable):
+        """Return the cached value for ``key`` or ``None``, updating LRU order."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def store(self, key: Hashable, value) -> None:
+        """Insert ``key -> value``, evicting least-recently-used entries."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_CACHE = MinCutCache()
+
+
+def mincut_cache() -> MinCutCache:
+    """The process-wide flow-solution cache."""
+    return _CACHE
+
+
+def clear_mincut_cache() -> None:
+    """Reset the process-wide flow-solution cache."""
+    _CACHE.clear()
+
+
+def mincut_cache_stats() -> Dict[str, int]:
+    """Current ``{"entries", "hits", "misses"}`` counters of the cache."""
+    return {"entries": len(_CACHE), "hits": _CACHE.hits, "misses": _CACHE.misses}
+
+
+def cached_st_mincut(
+    graph: NetworkGraph,
+    source: NodeId,
+    sink: NodeId,
+    signature: GraphSignature | None = None,
+) -> int:
+    """``MINCUT(G, source, sink)`` through the cache.
+
+    Raises:
+        GraphError: if either endpoint is missing or they coincide.
+    """
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise GraphError("source or sink not present in the graph")
+    if source == sink:
+        raise GraphError("source and sink must differ")
+    if signature is None:
+        signature = graph_signature(graph)
+    key = ("st", signature, source, sink)
+    value = _CACHE.lookup(key)
+    if value is None:
+        value = max_flow_value(graph, source, sink)
+        _CACHE.store(key, value)
+    return value
+
+
+def cached_all_target_mincuts(
+    graph: NetworkGraph,
+    source: NodeId,
+    signature: GraphSignature | None = None,
+) -> Dict[NodeId, int]:
+    """``MINCUT(G, source, j)`` for every ``j != source``, through the cache.
+
+    A single residual-graph build is shared across all targets on a miss
+    (see :func:`repro.graph.maxflow.all_max_flow_values`).  The returned dict
+    is a fresh copy the caller may mutate freely.
+
+    Raises:
+        GraphError: if the source is not in the graph.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source} is not in the graph")
+    if signature is None:
+        signature = graph_signature(graph)
+    key = ("all-targets", signature, source)
+    cached = _CACHE.lookup(key)
+    if cached is None:
+        targets = [node for node in graph.nodes() if node != source]
+        cached = all_max_flow_values(graph, source, targets)
+        _CACHE.store(key, cached)
+    return dict(cached)

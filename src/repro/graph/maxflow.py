@@ -11,7 +11,7 @@ network sizes the simulator targets (tens of nodes).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.network_graph import NetworkGraph
@@ -26,6 +26,21 @@ class _DinicSolver:
         # Edge arrays: to[i], capacity[i]; reverse edge of i is i ^ 1.
         self._to: List[NodeId] = []
         self._capacity: List[int] = []
+        self._initial_capacity: List[int] | None = None
+
+    def snapshot(self) -> None:
+        """Record the current capacities so :meth:`reset` can restore them.
+
+        Lets one residual-graph build (nodes, edge arrays, adjacency lists)
+        be reused across several max-flow queries on the same graph.
+        """
+        self._initial_capacity = list(self._capacity)
+
+    def reset(self) -> None:
+        """Restore the capacities recorded by :meth:`snapshot`."""
+        if self._initial_capacity is None:
+            raise GraphError("snapshot() must be called before reset()")
+        self._capacity = list(self._initial_capacity)
 
     def add_node(self, node: NodeId) -> None:
         self._adjacency.setdefault(node, [])
@@ -127,6 +142,36 @@ def max_flow_value(graph: NetworkGraph, source: NodeId, sink: NodeId) -> int:
     if not graph.has_node(source) or not graph.has_node(sink):
         raise GraphError("source or sink not present in the graph")
     return _build_solver(graph).max_flow(source, sink)
+
+
+def all_max_flow_values(
+    graph: NetworkGraph, source: NodeId, sinks: Iterable[NodeId]
+) -> Dict[NodeId, int]:
+    """Max-flow value from ``source`` to each sink, sharing one solver build.
+
+    The residual graph (adjacency lists and edge arrays) is constructed once
+    and only the capacity array is reset between queries, which is the bulk
+    of per-query setup cost for the broadcast min-cut sweeps.
+
+    Raises:
+        GraphError: if the source or any sink is missing, or a sink equals
+            the source.
+    """
+    if not graph.has_node(source):
+        raise GraphError("source or sink not present in the graph")
+    sink_list = list(sinks)
+    for sink in sink_list:
+        if not graph.has_node(sink):
+            raise GraphError("source or sink not present in the graph")
+    values: Dict[NodeId, int] = {}
+    if not sink_list:
+        return values
+    solver = _build_solver(graph)
+    solver.snapshot()
+    for sink in sink_list:
+        solver.reset()
+        values[sink] = solver.max_flow(source, sink)
+    return values
 
 
 def max_flow_with_cut(

@@ -17,26 +17,28 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.exceptions import GraphError
-from repro.graph.maxflow import max_flow_value
+from repro.graph.flow_cache import cached_all_target_mincuts, cached_st_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.graph.undirected import UndirectedView
 from repro.types import NodeId
 
 
 def st_mincut(graph: NetworkGraph, source: NodeId, sink: NodeId) -> int:
-    """``MINCUT(G, source, sink)`` — the directed min-cut / max-flow value."""
-    return max_flow_value(graph, source, sink)
+    """``MINCUT(G, source, sink)`` — the directed min-cut / max-flow value.
+
+    Memoised on the graph's canonical signature, so repeated queries on
+    structurally identical graphs are dictionary lookups.
+    """
+    return cached_st_mincut(graph, source, sink)
 
 
 def all_target_mincuts(graph: NetworkGraph, source: NodeId) -> Dict[NodeId, int]:
-    """``MINCUT(G, source, j)`` for every other node ``j`` of the graph."""
-    if not graph.has_node(source):
-        raise GraphError(f"source {source} is not in the graph")
-    return {
-        node: max_flow_value(graph, source, node)
-        for node in graph.nodes()
-        if node != source
-    }
+    """``MINCUT(G, source, j)`` for every other node ``j`` of the graph.
+
+    Memoised as a whole; on a miss all targets share one residual-graph
+    build instead of reconstructing the solver per target.
+    """
+    return cached_all_target_mincuts(graph, source)
 
 
 def broadcast_mincut(graph: NetworkGraph, source: NodeId) -> int:

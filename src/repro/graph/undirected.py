@@ -14,7 +14,11 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Tuple
 
 from repro.exceptions import GraphError
-from repro.graph.maxflow import max_flow_value
+from repro.graph.flow_cache import (
+    cached_all_target_mincuts,
+    cached_st_mincut,
+    graph_signature,
+)
 from repro.graph.network_graph import NetworkGraph
 from repro.types import NodeId, NodePair, node_pair
 
@@ -29,6 +33,17 @@ class UndirectedView:
             pair = node_pair(tail, head)
             capacities[pair] = capacities.get(pair, 0) + capacity
         self._capacities = capacities
+        # Lazily built symmetric digraph (and its cache signature) shared by
+        # all min-cut queries on this view (the view itself is immutable
+        # once constructed).
+        self._digraph: NetworkGraph | None = None
+        self._signature = None
+
+    def _symmetric_digraph(self) -> NetworkGraph:
+        if self._digraph is None:
+            self._digraph = self.as_symmetric_digraph()
+            self._signature = graph_signature(self._digraph)
+        return self._digraph
 
     # -------------------------------------------------------------- accessors
 
@@ -112,7 +127,8 @@ class UndirectedView:
         """The undirected min-cut (equivalently max-flow) between ``a`` and ``b``."""
         if a not in self._nodes or b not in self._nodes:
             raise GraphError("both endpoints must be nodes of the graph")
-        return max_flow_value(self.as_symmetric_digraph(), a, b)
+        digraph = self._symmetric_digraph()
+        return cached_st_mincut(digraph, a, b, signature=self._signature)
 
     def min_pairwise_mincut(self) -> int:
         """``min_{i, j} MINCUT(\\bar H, i, j)`` over all node pairs.
@@ -128,7 +144,7 @@ class UndirectedView:
             raise GraphError("pairwise min-cut requires at least two nodes")
         if not self.is_connected():
             return 0
-        digraph = self.as_symmetric_digraph()
+        digraph = self._symmetric_digraph()
         # For undirected global/pairwise min-cuts it suffices to anchor one
         # endpoint: min over j != anchor of mincut(anchor, j) equals the global
         # minimum pairwise cut only for the *global* min-cut; here we need the
@@ -138,7 +154,9 @@ class UndirectedView:
         # minimum over *all* pairs, which equals the undirected global min-cut,
         # so anchoring is valid: every cut separates the anchor from some node.
         anchor = nodes[0]
-        return min(max_flow_value(digraph, anchor, other) for other in nodes[1:])
+        return min(
+            cached_all_target_mincuts(digraph, anchor, signature=self._signature).values()
+        )
 
     def __repr__(self) -> str:
         return f"UndirectedView(nodes={self.node_count()}, edges={self.edge_count()})"

@@ -1,0 +1,140 @@
+"""Cached min-cut values must match fresh Dinic solves, and the capacity
+layer's memoisation must be invisible to callers (same values, fresh dicts,
+correct gamma*)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.capacity.gamma_star import construct_gamma_family, gamma_star
+from repro.graph.flow_cache import (
+    clear_mincut_cache,
+    graph_signature,
+    mincut_cache_stats,
+)
+from repro.graph.generators import complete_graph, random_connected_network
+from repro.graph.maxflow import all_max_flow_values, max_flow_value
+from repro.graph.mincut import all_target_mincuts, broadcast_mincut, st_mincut
+from repro.graph.network_graph import NetworkGraph
+from repro.graph.undirected import UndirectedView
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_mincut_cache()
+    yield
+    clear_mincut_cache()
+
+
+def _random_graphs():
+    for seed in range(5):
+        yield random_connected_network(6, 3, random.Random(seed), max_capacity=4)
+
+
+class TestCachedValuesMatchFreshSolves:
+    def test_st_mincut_matches_max_flow(self):
+        for graph in _random_graphs():
+            nodes = graph.nodes()
+            for source in nodes[:2]:
+                for sink in nodes:
+                    if sink == source:
+                        continue
+                    expected = max_flow_value(graph, source, sink)
+                    assert st_mincut(graph, source, sink) == expected
+                    # Second query is a cache hit with the same value.
+                    assert st_mincut(graph, source, sink) == expected
+
+    def test_all_target_mincuts_matches_per_target_solves(self):
+        for graph in _random_graphs():
+            source = graph.nodes()[0]
+            expected = {
+                node: max_flow_value(graph, source, node)
+                for node in graph.nodes()
+                if node != source
+            }
+            assert all_target_mincuts(graph, source) == expected
+            assert broadcast_mincut(graph, source) == min(expected.values())
+
+    def test_solver_reuse_matches_fresh_builds(self):
+        for graph in _random_graphs():
+            source = graph.nodes()[0]
+            sinks = [node for node in graph.nodes() if node != source]
+            shared = all_max_flow_values(graph, source, sinks)
+            fresh = {sink: max_flow_value(graph, source, sink) for sink in sinks}
+            assert shared == fresh
+
+    def test_undirected_pairwise_mincut_matches_naive(self):
+        for graph in _random_graphs():
+            view = UndirectedView(graph)
+            digraph = view.as_symmetric_digraph()
+            nodes = view.nodes()
+            naive = min(
+                max_flow_value(digraph, a, b)
+                for index, a in enumerate(nodes)
+                for b in nodes[index + 1 :]
+            )
+            assert view.min_pairwise_mincut() == naive
+
+
+class TestCacheBehaviour:
+    def test_hits_accumulate_on_identical_graphs(self):
+        graph = complete_graph(4, capacity=2)
+        st_mincut(graph, 1, 2)
+        before = mincut_cache_stats()
+        # A structurally identical but distinct object still hits.
+        clone = graph.copy()
+        st_mincut(clone, 1, 2)
+        after = mincut_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_returned_dict_mutation_does_not_poison_cache(self):
+        graph = complete_graph(4, capacity=2)
+        first = all_target_mincuts(graph, 1)
+        first[2] = 999
+        assert all_target_mincuts(graph, 1)[2] != 999
+
+    def test_clear_resets_counters_and_entries(self):
+        graph = complete_graph(4)
+        st_mincut(graph, 1, 2)
+        clear_mincut_cache()
+        stats = mincut_cache_stats()
+        assert stats == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_signature_distinguishes_capacities_and_structure(self):
+        base = complete_graph(4, capacity=2)
+        assert graph_signature(base) == graph_signature(base.copy())
+        assert graph_signature(base) != graph_signature(complete_graph(4, capacity=3))
+        assert graph_signature(base) != graph_signature(complete_graph(5, capacity=2))
+
+
+class TestGammaStarWithDeduplication:
+    def _naive_gamma_star(self, graph: NetworkGraph, source, max_faults) -> int:
+        family = construct_gamma_family(graph, source, max_faults)
+        values = []
+        for candidate in family.values():
+            values.append(
+                min(
+                    max_flow_value(candidate, source, node)
+                    for node in candidate.nodes()
+                    if node != source
+                )
+            )
+        return min(values)
+
+    def test_gamma_star_equals_naive_per_candidate_solves(self):
+        for graph in _random_graphs():
+            source = graph.nodes()[0]
+            assert gamma_star(graph, source, 1) == self._naive_gamma_star(graph, source, 1)
+
+    def test_gamma_star_complete_graph_reference_value(self):
+        assert gamma_star(complete_graph(4, capacity=2), 1, 1) == 4
+
+    def test_empty_fault_set_maps_to_full_graph(self):
+        graph = complete_graph(4, capacity=2)
+        family = construct_gamma_family(graph, 1, 1)
+        assert family[frozenset()] == graph
+        # The family entry is a detached copy, not the caller's object.
+        assert family[frozenset()] is not graph
