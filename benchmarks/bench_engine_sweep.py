@@ -1,0 +1,85 @@
+"""Experiment-engine sweep throughput: cells/second, serial vs parallel.
+
+Runs a named engine spec twice — serially and with 4 worker processes — and
+records cells/second for both plus the parallel speedup in
+``BENCH_engine_sweep.json``.  The two runs must produce byte-identical result
+rows (the engine's determinism contract); the >= 2x speedup gate is enforced
+only when the host actually has >= 4 CPUs, since worker processes cannot beat
+serial execution on a single core.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from _harness import scaled, suite_result, time_callable, write_results
+from repro.engine import get_spec, run_spec
+
+SPEC_NAME = scaled("nab_vs_classical", "nab_vs_classical_quick")
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _sweep(workers: int):
+    spec = get_spec(SPEC_NAME)
+    with tempfile.TemporaryDirectory() as tmp:
+        summary = run_spec(
+            spec,
+            out_path=os.path.join(tmp, "sweep.jsonl"),
+            workers=workers,
+            resume=False,
+        )
+    return summary
+
+
+def test_engine_sweep_parallel_speedup(benchmark):
+    def _run():
+        serial_seconds, serial_summary = time_callable(lambda: _sweep(1))
+        parallel_seconds, parallel_summary = time_callable(lambda: _sweep(WORKERS))
+        return serial_seconds, serial_summary, parallel_seconds, parallel_summary
+
+    serial_seconds, serial_summary, parallel_seconds, parallel_summary = (
+        benchmark.pedantic(_run, rounds=1, iterations=1)
+    )
+
+    assert serial_summary.computed_cells == serial_summary.total_cells
+    assert serial_summary.rows == parallel_summary.rows, (
+        "parallel sweep diverged from serial sweep"
+    )
+    cells = serial_summary.total_cells
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    gate_enforced = cpu_count >= WORKERS
+
+    print()
+    print(f"spec {SPEC_NAME}: {cells} cells")
+    print(f"serial:   {serial_seconds:6.2f}s  ({cells / serial_seconds:6.1f} cells/s)")
+    print(f"parallel: {parallel_seconds:6.2f}s  ({cells / parallel_seconds:6.1f} cells/s, "
+          f"{WORKERS} workers)")
+    print(f"speedup:  {speedup:.2f}x  (gate {'enforced' if gate_enforced else 'skipped'}: "
+          f"{cpu_count} CPU(s) available)")
+
+    path = write_results(
+        "engine_sweep",
+        {
+            "serial": suite_result(
+                serial_seconds, operations=cells, spec=SPEC_NAME, workers=1
+            ),
+            "parallel": suite_result(
+                parallel_seconds,
+                operations=cells,
+                spec=SPEC_NAME,
+                workers=WORKERS,
+                speedup_vs_serial=speedup,
+                cpu_count=cpu_count,
+                speedup_gate_enforced=gate_enforced,
+            ),
+        },
+    )
+    print(f"wrote {path}")
+    if gate_enforced:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel speedup {speedup:.2f}x below the {MIN_SPEEDUP:.0f}x target "
+            f"on {cpu_count} CPUs"
+        )

@@ -1,69 +1,55 @@
 #!/usr/bin/env python3
 """Gallery of Byzantine attacks against NAB and how the protocol reacts.
 
-Each scenario runs several NAB instances on the same 4-node network with a
-different adversarial strategy controlling node 3 (or the source, node 1) and
-reports: whether agreement/validity held on every instance, how often dispute
-control had to run, which disputes were recorded, and which nodes ended up
-identified as faulty.
+A thin declaration on top of the experiment engine: one :class:`ExperimentSpec`
+sweeps every named adversary strategy (the engine places the faulty node —
+the source for source attacks, the highest node otherwise) over a 4-node
+network, and the per-cell :class:`RunRecord`s report whether agreement and
+validity held, how often dispute control ran, which disputes were recorded,
+and which nodes ended up identified as faulty.
 
 Run with:  python examples/byzantine_attack_gallery.py
 """
 
 from __future__ import annotations
 
-from repro import FaultModel, NetworkAwareBroadcast
-from repro.adversary.strategies import (
-    CrashStrategy,
-    DisputeLiarStrategy,
-    EqualityGarbageStrategy,
-    EquivocatingSourceStrategy,
-    FalseFlagStrategy,
-    Phase1CorruptingRelayStrategy,
-)
 from repro.analysis.reporting import format_table
-from repro.graph.generators import complete_graph
-
-SCENARIOS = [
-    ("phase-1 corrupting relay", [3], Phase1CorruptingRelayStrategy()),
-    ("equality-check garbage", [3], EqualityGarbageStrategy()),
-    ("false MISMATCH flag", [3], FalseFlagStrategy()),
-    ("dispute-control liar", [3], DisputeLiarStrategy()),
-    ("crashed node", [3], CrashStrategy()),
-    ("equivocating source", [1], EquivocatingSourceStrategy()),
-]
+from repro.engine import ExperimentSpec, run_spec
+from repro.workloads import named_strategies
 
 
 def main() -> None:
-    messages = [f"tx-{index:03d}".encode() for index in range(6)]
+    spec = ExperimentSpec(
+        name="attack-gallery",
+        topologies=("k4-fast",),
+        strategies=tuple(named_strategies()),
+        payload_bytes=(6,),
+        fault_counts=(1,),
+        protocols=("nab",),
+        instances=6,
+    )
+    summary = run_spec(spec)
+
     rows = []
-    for name, faulty_nodes, strategy in SCENARIOS:
-        graph = complete_graph(4, capacity=2)
-        nab = NetworkAwareBroadcast(
-            graph, 1, 1, fault_model=FaultModel(faulty_nodes, strategy)
-        )
-        run = nab.run(messages)
-        source_faulty = 1 in faulty_nodes
-        agreement_ok = all(
-            len(set(result.outputs.values())) == 1 for result in run.instances
-        )
-        validity_ok = source_faulty or all(
-            result.agreed_value() == int.from_bytes(message, "big")
-            for message, result in zip(messages, run.instances)
-        )
-        disputes = sorted(tuple(sorted(pair)) for pair in nab.dispute_state.disputes())
-        faulty_found = sorted(nab.dispute_state.implied_faulty(graph.nodes()))
+    for row in summary.rows:
+        record = row["record"]
+        source_faulty = row["source"] in row["faulty_nodes"]
+        disputes = [tuple(pair) for pair in record["metadata"]["disputes"]]
+        identified = record["metadata"]["identified_faulty"]
         rows.append(
             [
-                name,
-                "yes" if agreement_ok else "NO",
-                "yes" if validity_ok else ("n/a" if source_faulty else "NO"),
-                run.dispute_control_executions,
-                disputes if disputes else "-",
-                faulty_found if faulty_found else "-",
+                row["strategy"],
+                "yes" if record["agreement_ok"] else "NO",
+                "n/a" if source_faulty else ("yes" if record["validity_ok"] else "NO"),
+                record["dispute_control_executions"],
+                sorted(set(disputes)) if disputes else "-",
+                sorted(set(identified)) if identified else "-",
             ]
         )
-    print("Six attacks against NAB on a 4-node network (f = 1, 6 instances each):")
+    print(
+        f"{len(summary.rows)} attacks against NAB on a 4-node network "
+        f"(f = 1, {spec.instances} instances each):"
+    )
     print(
         format_table(
             ["attack", "agreement", "validity", "phase-3 runs", "disputes", "identified faulty"],

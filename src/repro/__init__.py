@@ -28,6 +28,7 @@ from repro.core.nab import NABRunResult, NetworkAwareBroadcast
 from repro.exceptions import ReproError
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import ByzantineStrategy, FaultModel
+from repro.types import RunRecord
 
 __version__ = "1.0.0"
 
@@ -35,6 +36,7 @@ __all__ = [
     "NetworkAwareBroadcast",
     "NABRunResult",
     "InstanceResult",
+    "RunRecord",
     "NetworkGraph",
     "FaultModel",
     "ByzantineStrategy",

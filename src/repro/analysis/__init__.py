@@ -11,13 +11,17 @@ from repro.analysis.reporting import format_table
 from repro.analysis.throughput import (
     ThroughputMeasurement,
     amortization_curve,
+    check_record_spec,
     measure_nab_throughput,
+    measurement_from_record,
     verify_agreement_and_validity,
 )
 
 __all__ = [
     "ThroughputMeasurement",
     "measure_nab_throughput",
+    "measurement_from_record",
+    "check_record_spec",
     "amortization_curve",
     "verify_agreement_and_validity",
     "format_table",

@@ -2,30 +2,31 @@
 
 Throughput is defined exactly as in the paper: ``Q`` instances of ``L``-bit
 broadcast divided by the total worst-case completion time under the link
-capacity constraints.  The helpers here run NAB (or any protocol producing
-:class:`repro.core.instance.InstanceResult`-like outputs), check the Byzantine
-broadcast specification on every instance, and report measured throughput next
-to the analytical Eq. 6 lower bound and Theorem 2 upper bound so benchmarks
-can print all three side by side.
+capacity constraints.  Since the experiment-engine refactor every protocol
+run is summarised by a shared :class:`repro.types.RunRecord`; the helpers
+here check the Byzantine broadcast specification on a record, convert it into
+a :class:`ThroughputMeasurement`, and report measured throughput next to the
+analytical Eq. 6 lower bound and Theorem 2 upper bound so benchmarks can
+print all three side by side.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
 from repro.core.nab import NABRunResult, NetworkAwareBroadcast
 from repro.exceptions import AgreementViolationError
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import FaultModel
-from repro.types import NodeId
+from repro.types import NodeId, RunRecord
 
 
 @dataclass(frozen=True)
 class ThroughputMeasurement:
-    """Measured throughput of a NAB run together with the analytical context.
+    """Measured throughput of a protocol run together with the analytical context.
 
     Attributes:
         instances: Number of instances ``Q``.
@@ -48,28 +49,55 @@ class ThroughputMeasurement:
         return self.throughput / self.analysis.capacity_upper_bound
 
 
+def check_record_spec(record: RunRecord) -> None:
+    """Assert the BB specification flags of a :class:`RunRecord`.
+
+    Raises:
+        AgreementViolationError: if the record reports an agreement violation,
+            or a validity violation while the source was fault-free.
+    """
+    if not record.agreement_ok:
+        raise AgreementViolationError(
+            f"{record.protocol}: fault-free nodes disagree in at least one instance"
+        )
+    if record.validity_ok is False:
+        raise AgreementViolationError(
+            f"{record.protocol}: validity violated with a fault-free source"
+        )
+
+
 def verify_agreement_and_validity(
-    run: NABRunResult, inputs: Sequence[bytes], source_faulty: bool
+    run: Union[NABRunResult, RunRecord], inputs: Sequence[bytes], source_faulty: bool
 ) -> None:
     """Assert the BB specification on every instance of a run.
+
+    Accepts either a legacy :class:`NABRunResult` (converted into the shared
+    record shape first) or a :class:`RunRecord` directly.
 
     Raises:
         AgreementViolationError: if any instance violates agreement, or
             violates validity while the source is fault-free.
     """
-    for value, result in zip(inputs, run.instances):
-        outputs = set(result.outputs.values())
-        if len(outputs) != 1:
-            raise AgreementViolationError(
-                f"instance {result.instance}: fault-free nodes disagree ({len(outputs)} values)"
-            )
-        if not source_faulty:
-            expected = int.from_bytes(value, "big")
-            if outputs != {expected}:
-                raise AgreementViolationError(
-                    f"instance {result.instance}: validity violated "
-                    f"(agreed {outputs.pop():#x}, expected {expected:#x})"
-                )
+    if isinstance(run, NABRunResult):
+        record = run.as_run_record(inputs, source_faulty)
+    else:
+        record = run
+    check_record_spec(record)
+
+
+def measurement_from_record(
+    record: RunRecord, analysis: CapacityAnalysis
+) -> ThroughputMeasurement:
+    """Convert a protocol-agnostic :class:`RunRecord` into a measurement."""
+    total_time = record.elapsed if record.elapsed > 0 else Fraction(1)
+    return ThroughputMeasurement(
+        instances=record.instances,
+        payload_bits=record.payload_bits,
+        total_time=record.elapsed,
+        throughput=Fraction(record.payload_bits) / total_time,
+        dispute_control_executions=record.dispute_control_executions,
+        analysis=analysis,
+    )
 
 
 def measure_nab_throughput(
@@ -93,20 +121,11 @@ def measure_nab_throughput(
     nab = NetworkAwareBroadcast(
         graph, source, max_faults, fault_model=fault_model, coding_seed=coding_seed
     )
-    run = nab.run(list(inputs))
-    verify_agreement_and_validity(run, inputs, fault_model.is_faulty(source))
-    payload_bits = sum(8 * len(value) for value in inputs)
+    record = nab.run_record(list(inputs))
+    check_record_spec(record)
     if analysis is None:
         analysis = analyse_network(graph, source, max_faults)
-    total_time = run.total_elapsed if run.total_elapsed > 0 else Fraction(1)
-    return ThroughputMeasurement(
-        instances=len(inputs),
-        payload_bits=payload_bits,
-        total_time=run.total_elapsed,
-        throughput=Fraction(payload_bits) / total_time,
-        dispute_control_executions=run.dispute_control_executions,
-        analysis=analysis,
-    )
+    return measurement_from_record(record, analysis)
 
 
 def amortization_curve(

@@ -25,7 +25,12 @@ This package provides:
 
 from repro.classical.broadcast_default import BroadcastDefault
 from repro.classical.eig import EIGBroadcast
-from repro.classical.flooding import classical_full_value_broadcast
+from repro.classical.flooding import (
+    classical_chunked_broadcast,
+    classical_flooding_run_record,
+    classical_full_value_broadcast,
+    eig_chunked_run_record,
+)
 from repro.classical.relay import DisjointPathRelay
 
 __all__ = [
@@ -33,4 +38,7 @@ __all__ = [
     "EIGBroadcast",
     "BroadcastDefault",
     "classical_full_value_broadcast",
+    "classical_chunked_broadcast",
+    "classical_flooding_run_record",
+    "eig_chunked_run_record",
 ]

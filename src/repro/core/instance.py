@@ -17,7 +17,7 @@ run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Dict, Optional, Tuple
 
@@ -51,6 +51,7 @@ class InstanceResult:
         new_disputes: Disputed pairs discovered by this instance.
         newly_identified_faulty: Faulty nodes identified by this instance.
         mismatch_announced: Whether any node announced MISMATCH in step 2.2.
+        link_bits: Bits sent per directed link over the whole instance.
     """
 
     instance: int
@@ -63,6 +64,7 @@ class InstanceResult:
     new_disputes: Tuple[frozenset, ...]
     newly_identified_faulty: Tuple[NodeId, ...]
     mismatch_announced: bool
+    link_bits: Dict[tuple, int] = field(default_factory=dict)
 
     def agreed_value(self) -> int:
         """The common output of the fault-free nodes.
@@ -226,4 +228,5 @@ class NABInstance:
             new_disputes=tuple(new_disputes),
             newly_identified_faulty=tuple(identified_faulty),
             mismatch_announced=mismatch_announced,
+            link_bits=network.accountant.total_link_bits(),
         )

@@ -19,7 +19,13 @@ from repro.exceptions import ProtocolError
 from repro.graph.connectivity import meets_connectivity_requirement
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import FaultModel
-from repro.types import NodeId
+from repro.types import (
+    Edge,
+    NodeId,
+    RunRecord,
+    accumulate_link_bits,
+    broadcast_spec_flags,
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,54 @@ class NABRunResult:
     def outputs_per_instance(self) -> List[Dict[NodeId, int]]:
         """The fault-free outputs of every instance, in order."""
         return [dict(result.outputs) for result in self.instances]
+
+    def as_run_record(self, inputs: Sequence[bytes], source_faulty: bool) -> RunRecord:
+        """Convert this run into the shared :class:`repro.types.RunRecord` shape.
+
+        Args:
+            inputs: The byte-string input of each instance, in execution order.
+            source_faulty: Whether the broadcasting source is Byzantine
+                (validity is unconstrained then).
+        """
+        link_totals: Dict[Edge, int] = {}
+        disputes = []
+        identified = []
+        for result in self.instances:
+            accumulate_link_bits(link_totals, result.link_bits)
+            disputes.extend(sorted(pair) for pair in result.new_disputes)
+            identified.extend(result.newly_identified_faulty)
+        # Instance outputs are L-bit integers; render them as byte strings of
+        # the instance's payload length so the shared canonical form is
+        # length-preserving (an output of 7 on a 2-byte payload is b"\x00\x07",
+        # distinct from a 1-byte payload's b"\x07").
+        outputs = tuple(
+            {
+                node: value.to_bytes(len(payload), "big")
+                for node, value in result.outputs.items()
+            }
+            for payload, result in zip(inputs, self.instances)
+        )
+        agreement_ok, validity_ok = broadcast_spec_flags(outputs, inputs, source_faulty)
+        return RunRecord(
+            protocol="nab",
+            instances=len(self.instances),
+            payload_bits=sum(8 * len(value) for value in inputs),
+            outputs=outputs,
+            elapsed=self.total_elapsed,
+            bits_sent=self.total_bits,
+            link_bits=link_totals,
+            dispute_control_executions=self.dispute_control_executions,
+            agreement_ok=agreement_ok,
+            validity_ok=validity_ok,
+            metadata={
+                "algorithm": "nab",
+                "disputes": sorted(disputes),
+                "identified_faulty": sorted(identified),
+                "mismatch_instances": sum(
+                    1 for result in self.instances if result.mismatch_announced
+                ),
+            },
+        )
 
 
 class NetworkAwareBroadcast:
@@ -140,6 +194,16 @@ class NetworkAwareBroadcast:
                 1 for result in results if result.dispute_control_ran
             ),
         )
+
+    def run_record(self, values: Sequence[bytes]) -> RunRecord:
+        """Run one instance per value and return the shared :class:`RunRecord`.
+
+        This is the entry point the experiment engine's protocol registry
+        calls; :meth:`run` remains available when per-instance detail
+        (:class:`InstanceResult`) is needed.
+        """
+        run = self.run(values)
+        return run.as_run_record(values, self.fault_model.is_faulty(self.source))
 
     # ------------------------------------------------------------------ state
 

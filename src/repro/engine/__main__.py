@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.engine --spec <name> --workers N``.
+
+Runs (or resumes) a named experiment spec, persists one JSONL row per cell,
+and prints the protocol-comparison table next to the paper's analytical
+bounds.  Rerunning the same command skips every already-completed cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict
+
+from repro.engine.report import render_comparison, summarize_rows
+from repro.engine.runner import run_spec
+from repro.engine.specs import get_spec, named_specs
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Run a named experiment sweep with persisted, resumable results.",
+    )
+    parser.add_argument("--spec", help="name of the experiment spec to run")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = serial, default)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSONL path (default: results/<spec>.jsonl)",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None,
+        help="run at most N pending cells, then stop (for partial runs)",
+    )
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="ignore existing results and recompute every cell",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available specs and exit"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name in named_specs():
+            spec = get_spec(name)
+            grid = len(spec.expand())
+            print(f"{name}  ({grid} cells)")
+            if spec.description:
+                print(f"    {spec.description}")
+        return 0
+    if not args.spec:
+        print("error: --spec is required (use --list to see available specs)",
+              file=sys.stderr)
+        return 2
+
+    spec = get_spec(args.spec)
+    out_path = args.out or os.path.join("results", f"{spec.name}.jsonl")
+
+    def _progress(row: Dict[str, object]) -> None:
+        status = "error" if row.get("error") else "ok"
+        print(f"  [{status}] {row['cell_id']}", flush=True)
+
+    started = time.perf_counter()
+    summary = run_spec(
+        spec,
+        out_path=out_path,
+        workers=args.workers,
+        limit=args.limit,
+        resume=not args.fresh,
+        progress=_progress,
+    )
+    elapsed = time.perf_counter() - started
+
+    print()
+    print(
+        f"spec {summary.spec_name}: {summary.computed_cells} cell(s) computed, "
+        f"{summary.skipped_cells} resumed, {summary.total_cells} in grid "
+        f"({elapsed:.2f}s wall)"
+    )
+    print(f"results: {summary.out_path}")
+    counters = summarize_rows(summary.rows)
+    print(
+        f"errors: {counters['errors']}  spec violations: {counters['spec_violations']}  "
+        f"dispute-control executions: {counters['dispute_control_executions']}"
+    )
+    print()
+    print(render_comparison(summary.rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""The ``Protocol`` interface and name-keyed registry.
+
+Every broadcast algorithm the experiment engine can sweep is wrapped in a
+small adapter exposing one entry point::
+
+    run(graph, source, inputs, fault_model, params) -> RunRecord
+
+so sweeps, the parallel runner and the reporting layer never special-case a
+protocol.  Adapters for NAB, the classical full-value flooding baseline and
+the chunked direct-EIG baseline are registered at import time; external code
+can register additional protocols with :func:`register_protocol`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Sequence
+
+from repro.classical.flooding import (
+    classical_flooding_run_record,
+    eig_chunked_run_record,
+)
+from repro.core.nab import NetworkAwareBroadcast
+from repro.exceptions import ConfigurationError
+from repro.graph.network_graph import NetworkGraph
+from repro.transport.faults import FaultModel
+from repro.types import NodeId, RunRecord
+
+
+class Protocol(ABC):
+    """A broadcast protocol the engine can run on a scenario.
+
+    Subclasses set :attr:`name` (the registry key, also stamped on every
+    :class:`RunRecord` they produce) and implement :meth:`run`.
+    """
+
+    #: Registry key; must be unique among registered protocols.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(
+        self,
+        graph: NetworkGraph,
+        source: NodeId,
+        inputs: Sequence[bytes],
+        fault_model: FaultModel,
+        params: Mapping[str, object],
+    ) -> RunRecord:
+        """Broadcast every input value in order and summarise the run.
+
+        Args:
+            graph: The capacitated network.
+            source: The broadcasting node.
+            inputs: One byte-string value per instance.
+            fault_model: Which nodes are Byzantine and their strategy.
+            params: Protocol parameters; ``"max_faults"`` is always present,
+                adapters may consume extras (``"coding_seed"``,
+                ``"chunk_bytes"``, ...).
+        """
+
+
+class NABProtocol(Protocol):
+    """The paper's Network-Aware Broadcast with amortised dispute control."""
+
+    name = "nab"
+
+    def run(self, graph, source, inputs, fault_model, params):
+        nab = NetworkAwareBroadcast(
+            graph,
+            source,
+            int(params["max_faults"]),
+            fault_model=fault_model,
+            coding_seed=int(params.get("coding_seed", 0)),
+        )
+        return nab.run_record(list(inputs))
+
+
+class ClassicalFloodingProtocol(Protocol):
+    """Capacity-oblivious baseline: full-value EIG flooding over disjoint paths."""
+
+    name = "classical-flooding"
+
+    def run(self, graph, source, inputs, fault_model, params):
+        return classical_flooding_run_record(
+            graph, source, list(inputs), int(params["max_faults"]), fault_model
+        )
+
+
+class EIGChunkedProtocol(Protocol):
+    """Capacity-oblivious baseline: per-chunk direct EIG broadcasts."""
+
+    name = "eig"
+
+    def run(self, graph, source, inputs, fault_model, params):
+        return eig_chunked_run_record(
+            graph,
+            source,
+            list(inputs),
+            int(params["max_faults"]),
+            fault_model,
+            chunk_bytes=int(params.get("chunk_bytes", 1)),
+        )
+
+
+_REGISTRY: Dict[str, Protocol] = {}
+
+
+def register_protocol(protocol: Protocol, replace: bool = False) -> None:
+    """Add a protocol to the registry under its :attr:`Protocol.name`.
+
+    Raises:
+        ConfigurationError: if the name is already taken and ``replace`` is
+            not set, or the protocol has no usable name.
+    """
+    name = protocol.name
+    if not name or name == Protocol.name:
+        raise ConfigurationError("protocol must define a concrete registry name")
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(f"protocol {name!r} is already registered")
+    _REGISTRY[name] = protocol
+
+
+def get_protocol(name: str) -> Protocol:
+    """Look up a registered protocol by name.
+
+    Raises:
+        ConfigurationError: if the name is unknown.
+    """
+    if name not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {', '.join(registered_protocols())}"
+        )
+    return _REGISTRY[name]
+
+
+def registered_protocols() -> List[str]:
+    """All registered protocol names, sorted."""
+    return sorted(_REGISTRY)
+
+
+register_protocol(NABProtocol())
+register_protocol(ClassicalFloodingProtocol())
+register_protocol(EIGChunkedProtocol())

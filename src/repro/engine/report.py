@@ -1,0 +1,112 @@
+"""Reporting layer: NAB-vs-classical throughput next to the analytical bounds.
+
+Consumes the persisted JSONL rows of :mod:`repro.engine.runner` — it never
+re-runs protocols — and renders one table line per scenario (topology ×
+strategy × payload × ``f``), with one measured-throughput column per protocol
+plus the Eq. 6 lower bound and Theorem 2 upper bound of the network, so the
+paper's comparative claim can be read off directly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+
+
+def _fraction(value: Optional[object]) -> Optional[Fraction]:
+    if value is None:
+        return None
+    return Fraction(str(value))
+
+
+def _scenario_key(row: Dict[str, object]) -> Tuple:
+    return (
+        row["topology"],
+        row["strategy"],
+        row["payload_bytes"],
+        row["max_faults"],
+    )
+
+
+def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
+    """Render persisted rows as a per-scenario protocol comparison table.
+
+    Scenario rows appear in first-seen order; protocol columns in first-seen
+    order.  Cells that errored render as ``error``, spec violations are
+    flagged with ``!spec``, and the two analytical bounds plus NAB's achieved
+    fraction of the Theorem 2 bound close each line.
+    """
+    protocols: List[str] = []
+    scenarios: Dict[Tuple, Dict[str, object]] = {}
+    for row in rows:
+        protocol = str(row["protocol"])
+        if protocol not in protocols:
+            protocols.append(protocol)
+        scenario = scenarios.setdefault(
+            _scenario_key(row), {"bounds": None, "records": {}}
+        )
+        scenario["records"][protocol] = row
+        if row.get("bounds") is not None:
+            scenario["bounds"] = row["bounds"]
+
+    headers = ["topology", "strategy", "L bits", "f"] + [
+        f"{name} bits/unit" for name in protocols
+    ] + ["Eq.6 bound", "Thm.2 bound", "nab/capacity"]
+    table: List[List[object]] = []
+    for key, scenario in scenarios.items():
+        topology_name, strategy, payload_bytes, max_faults = key
+        line: List[object] = [topology_name, strategy, 8 * payload_bytes, max_faults]
+        nab_throughput: Optional[Fraction] = None
+        for protocol in protocols:
+            row = scenario["records"].get(protocol)
+            if row is None:
+                line.append("-")
+                continue
+            if row.get("error"):
+                line.append("error")
+                continue
+            record = row["record"]
+            throughput = _fraction(record.get("throughput"))
+            spec_ok = record["agreement_ok"] and record["validity_ok"] is not False
+            cell = "-" if throughput is None else f"{float(throughput):.4g}"
+            if not spec_ok:
+                cell += " !spec"
+            line.append(cell)
+            if protocol == "nab":
+                nab_throughput = throughput
+        bounds = scenario["bounds"]
+        if bounds is None:
+            line += ["-", "-", "-"]
+        else:
+            lower = _fraction(bounds["nab_lower_bound"])
+            upper = _fraction(bounds["capacity_upper_bound"])
+            line.append(f"{float(lower):.4g}")
+            line.append(f"{float(upper):.4g}")
+            if nab_throughput is None or upper is None or upper == 0:
+                line.append("-")
+            else:
+                line.append(f"{float(nab_throughput / upper):.3f}")
+        table.append(line)
+    return format_table(headers, table)
+
+
+def summarize_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate counters for a sweep: cells, errors, violations, Phase 3 runs."""
+    errors = sum(1 for row in rows if row.get("error"))
+    violations = 0
+    phase3 = 0
+    for row in rows:
+        record = row.get("record")
+        if not record:
+            continue
+        phase3 += int(record.get("dispute_control_executions", 0))
+        if not record["agreement_ok"] or record["validity_ok"] is False:
+            violations += 1
+    return {
+        "cells": len(rows),
+        "errors": errors,
+        "spec_violations": violations,
+        "dispute_control_executions": phase3,
+    }

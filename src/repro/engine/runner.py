@@ -1,0 +1,264 @@
+"""Parallel cell execution with persisted, resumable JSONL results.
+
+The runner shards a spec's cells across ``multiprocessing`` workers, streams
+one JSON row per completed cell to the output file (append-only, crash safe),
+and on completion compacts the file into canonical grid order.  Rows are pure
+functions of their cell — exact rationals are serialised as ``"p/q"`` strings,
+every mapping key is a string, and ``json.dumps(..., sort_keys=True)`` is used
+throughout — so a fresh run and a killed-then-resumed run of the same spec
+produce byte-identical files.
+
+Resume: before executing, the runner reads any existing output file, keeps
+every well-formed row whose cell id belongs to the current grid (matching
+spec, seed and schema version), and only computes the rest.
+
+Each worker clears the process-wide min-cut cache whenever it switches to an
+unrelated topology (cells arrive grouped by topology, so this is rare) and
+relies on :func:`repro.gf.field.get_field` canonicalisation to share field
+tables within the worker.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.capacity.bounds import CapacityAnalysis, analyse_network
+from repro.engine.protocol import get_protocol
+from repro.engine.spec import Cell, ExperimentSpec
+from repro.graph.flow_cache import clear_mincut_cache
+
+#: Version stamp of the persisted row layout; bump on breaking changes so
+#: resume never mixes incompatible rows.
+ROW_SCHEMA_VERSION = 1
+
+
+#: Per-process memo of analytical bounds keyed by (topology, source, f); the
+#: bounds depend only on graph structure, so the handful of distinct keys in a
+#: grid are computed once per worker instead of once per cell.
+_ANALYSIS_MEMO: Dict[tuple, CapacityAnalysis] = {}
+
+
+def _bounds_jsonable(analysis: CapacityAnalysis) -> Dict[str, object]:
+    return {
+        "gamma_star": analysis.gamma_star,
+        "rho_star": analysis.rho_star,
+        "nab_lower_bound": str(analysis.nab_lower_bound),
+        "capacity_upper_bound": str(analysis.capacity_upper_bound),
+        "guaranteed_fraction": str(analysis.guaranteed_fraction),
+        "achieved_fraction": str(analysis.achieved_fraction),
+    }
+
+
+def run_cell(cell: Cell) -> Dict[str, object]:
+    """Execute one cell and return its persisted-row dict.
+
+    The row is deterministic: it contains no timestamps or host information,
+    only the cell identity, the protocol's :class:`RunRecord` and the
+    network's analytical bounds.  Protocol failures are captured in an
+    ``"error"`` field instead of aborting the sweep.
+    """
+    scenario = cell.scenario()
+    row: Dict[str, object] = {
+        "schema": ROW_SCHEMA_VERSION,
+        "spec": cell.spec_name,
+        "cell_id": cell.cell_id,
+        "seed": cell.seed,
+        "topology": cell.topology,
+        "strategy": cell.strategy,
+        "faulty_nodes": list(cell.faulty_nodes),
+        "payload_bytes": cell.payload_bytes,
+        "instances": cell.instances,
+        "max_faults": cell.max_faults,
+        "protocol": cell.protocol,
+        "source": scenario.source,
+    }
+    try:
+        memo_key = (cell.topology, scenario.source, cell.max_faults)
+        analysis = _ANALYSIS_MEMO.get(memo_key)
+        if analysis is None:
+            analysis = analyse_network(scenario.graph, scenario.source, cell.max_faults)
+            _ANALYSIS_MEMO[memo_key] = analysis
+        protocol = get_protocol(cell.protocol)
+        record = protocol.run(
+            scenario.graph,
+            scenario.source,
+            list(scenario.inputs),
+            scenario.fault_model,
+            {"max_faults": cell.max_faults, "coding_seed": cell.seed},
+        )
+        row["record"] = record.to_jsonable()
+        row["bounds"] = _bounds_jsonable(analysis)
+        row["error"] = None
+    except Exception as exc:  # noqa: BLE001 - sweeps must survive bad cells
+        row["record"] = None
+        row["bounds"] = None
+        row["error"] = f"{type(exc).__name__}: {exc}"
+    return row
+
+
+_LAST_TOPOLOGY: Optional[str] = None
+
+
+def _execute_cell(cell: Cell) -> Dict[str, object]:
+    """Worker entry point: per-topology cache hygiene around :func:`run_cell`."""
+    global _LAST_TOPOLOGY
+    if cell.topology != _LAST_TOPOLOGY:
+        clear_mincut_cache()
+        _LAST_TOPOLOGY = cell.topology
+    return run_cell(cell)
+
+
+def dump_row(row: Dict[str, object]) -> str:
+    """The canonical one-line JSON serialisation of a row."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def _load_completed_rows(
+    path: str, spec: ExperimentSpec, cells: Sequence[Cell]
+) -> Dict[str, Dict[str, object]]:
+    """Parse an existing output file into reusable rows keyed by cell id.
+
+    Malformed lines (e.g. a truncated final line after a kill), rows that do
+    not belong to the current grid, and rows that recorded an error (so a
+    transient failure is retried rather than frozen in) are silently dropped.
+    """
+    expected = {cell.cell_id: cell for cell in cells}
+    completed: Dict[str, Dict[str, object]] = {}
+    if not os.path.exists(path):
+        return completed
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(row, dict):
+                continue
+            cell = expected.get(row.get("cell_id"))
+            if (
+                cell is not None
+                and row.get("schema") == ROW_SCHEMA_VERSION
+                and row.get("spec") == spec.name
+                and row.get("seed") == cell.seed
+                and row.get("error") is None
+            ):
+                completed[cell.cell_id] = row
+    return completed
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Outcome of one :func:`run_spec` invocation.
+
+    Attributes:
+        spec_name: The executed spec.
+        rows: All rows available at the end, in canonical grid order
+            (computed this run plus rows reused from a previous run).
+        computed_cells: How many cells were actually executed.
+        skipped_cells: How many were reused from the existing output file.
+        total_cells: Size of the full grid.
+        out_path: The output file, or ``None`` for in-memory runs.
+    """
+
+    spec_name: str
+    rows: List[Dict[str, object]]
+    computed_cells: int
+    skipped_cells: int
+    total_cells: int
+    out_path: Optional[str]
+
+
+def run_spec(
+    spec: ExperimentSpec,
+    out_path: Optional[str] = None,
+    workers: int = 1,
+    limit: Optional[int] = None,
+    resume: bool = True,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> RunSummary:
+    """Run (or resume) every cell of a spec and persist one JSONL row per cell.
+
+    Args:
+        spec: The sweep to execute.
+        out_path: JSONL output file.  ``None`` runs fully in memory.
+        workers: Worker processes; ``1`` runs serially in-process.
+        limit: Execute at most this many not-yet-completed cells, then stop
+            (persisting what finished) — the hook the resume tests use to
+            simulate a killed sweep.
+        resume: Reuse completed rows from an existing output file.  When
+            ``False`` any existing file is ignored and overwritten.
+        progress: Optional callback invoked with each freshly computed row.
+
+    Returns:
+        A :class:`RunSummary`; ``rows`` is in canonical grid order and, when
+        the grid ran to completion, matches the persisted file line for line.
+    """
+    cells = spec.expand()
+    completed: Dict[str, Dict[str, object]] = {}
+    if out_path and resume:
+        completed = _load_completed_rows(out_path, spec, cells)
+    pending = [cell for cell in cells if cell.cell_id not in completed]
+    if limit is not None:
+        pending = pending[: max(0, limit)]
+
+    handle = None
+    if out_path:
+        directory = os.path.dirname(os.path.abspath(out_path))
+        os.makedirs(directory, exist_ok=True)
+        mode = "a" if (resume and completed) else "w"
+        handle = open(out_path, mode, encoding="utf-8")
+
+    computed: Dict[str, Dict[str, object]] = {}
+    try:
+        if pending:
+            if workers > 1:
+                with multiprocessing.Pool(processes=workers) as pool:
+                    results = pool.imap_unordered(_execute_cell, pending)
+                    for row in results:
+                        computed[row["cell_id"]] = row
+                        if handle is not None:
+                            handle.write(dump_row(row) + "\n")
+                            handle.flush()
+                        if progress is not None:
+                            progress(row)
+            else:
+                for cell in pending:
+                    row = _execute_cell(cell)
+                    computed[row["cell_id"]] = row
+                    if handle is not None:
+                        handle.write(dump_row(row) + "\n")
+                        handle.flush()
+                    if progress is not None:
+                        progress(row)
+    finally:
+        if handle is not None:
+            handle.close()
+
+    available = dict(completed)
+    available.update(computed)
+    rows = [available[cell.cell_id] for cell in cells if cell.cell_id in available]
+
+    if out_path:
+        # Compact to canonical grid order so a fresh run and a resumed run of
+        # the same spec produce byte-identical files.
+        tmp_path = out_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for row in rows:
+                tmp.write(dump_row(row) + "\n")
+        os.replace(tmp_path, out_path)
+
+    return RunSummary(
+        spec_name=spec.name,
+        rows=rows,
+        computed_cells=len(computed),
+        skipped_cells=len(completed),
+        total_cells=len(cells),
+        out_path=out_path,
+    )

@@ -1,0 +1,192 @@
+"""Declarative sweep grids: ``ExperimentSpec`` and its expansion into cells.
+
+An :class:`ExperimentSpec` names the axes of a sweep — topologies × adversary
+strategies × payload sizes × ``f`` × protocols — and :meth:`ExperimentSpec.expand`
+cross-products them into concrete :class:`Cell`s.  Each cell carries a
+deterministic seed derived from the spec's base seed and the cell identity, so
+input streams and seeded adversary strategies are bit-for-bit reproducible no
+matter which worker process executes the cell or in what order.
+
+Infeasible grid points (too few nodes for ``n >= 3f + 1``, or network
+connectivity below ``2f + 1``) are filtered out during expansion rather than
+failing at run time, so specs can list topology and fault axes freely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graph.connectivity import meets_connectivity_requirement
+from repro.types import NodeId
+from repro.workloads.scenarios import (
+    Scenario,
+    adversarial_scenario,
+    fault_free_scenario,
+    named_strategies,
+)
+from repro.workloads.topologies import topology
+
+#: Strategy-axis value meaning "no Byzantine nodes at all".
+FAULT_FREE = "fault-free"
+
+
+def cell_seed(base_seed: int, cell_id: str) -> int:
+    """A deterministic 64-bit seed for one cell, stable across processes.
+
+    Derived from a cryptographic hash (not Python's randomised ``hash``) so
+    resumed and parallel runs regenerate identical inputs.
+    """
+    digest = hashlib.sha256(f"{base_seed}|{cell_id}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One concrete grid point of an experiment sweep.
+
+    Cells are plain picklable values: the graph and strategy objects are
+    (re)built inside whichever worker process executes the cell, via
+    :meth:`scenario`.
+    """
+
+    spec_name: str
+    cell_id: str
+    topology: str
+    strategy: str
+    payload_bytes: int
+    instances: int
+    max_faults: int
+    protocol: str
+    source: NodeId
+    seed: int
+    faulty_nodes: Tuple[NodeId, ...]
+
+    def scenario(self) -> Scenario:
+        """Build the fully specified scenario for this cell."""
+        if self.strategy == FAULT_FREE:
+            return fault_free_scenario(
+                topology_name=self.topology,
+                instances=self.instances,
+                value_bytes=self.payload_bytes,
+                max_faults=self.max_faults,
+                seed=self.seed,
+                source=self.source,
+            )
+        return adversarial_scenario(
+            topology_name=self.topology,
+            strategy_name=self.strategy,
+            faulty_nodes=self.faulty_nodes,
+            instances=self.instances,
+            value_bytes=self.payload_bytes,
+            max_faults=self.max_faults,
+            seed=self.seed,
+            source=self.source,
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative sweep: the cross product of every listed axis.
+
+    Attributes:
+        name: Spec name, stamped on every persisted row.
+        topologies: Named topologies (see :func:`repro.workloads.topology`).
+        strategies: Adversary strategy names (see
+            :func:`repro.workloads.named_strategies`) and/or
+            :data:`FAULT_FREE`.
+        payload_bytes: Per-instance value sizes in bytes.
+        fault_counts: Values of the resilience parameter ``f``.
+        protocols: Registered protocol names to run on every scenario.
+        instances: Number of broadcast instances per cell (``Q``).
+        source: The broadcasting node (the paper uses node 1).
+        base_seed: Root seed all per-cell seeds are derived from.
+        description: Human-readable summary for ``--list``-style output.
+    """
+
+    name: str
+    topologies: Tuple[str, ...]
+    strategies: Tuple[str, ...]
+    payload_bytes: Tuple[int, ...]
+    fault_counts: Tuple[int, ...]
+    protocols: Tuple[str, ...]
+    instances: int = 3
+    source: NodeId = 1
+    base_seed: int = 0
+    description: str = ""
+
+    def _faulty_nodes(
+        self, strategy: str, nodes: List[NodeId], max_faults: int
+    ) -> Tuple[NodeId, ...]:
+        """Deterministic faulty-set placement for one cell.
+
+        Source-attacking strategies corrupt the source itself; all others
+        corrupt the ``f`` highest-numbered non-source nodes (the nodes the
+        example gallery traditionally sacrifices).
+        """
+        if strategy == FAULT_FREE:
+            return ()
+        non_source = [node for node in nodes if node != self.source]
+        if strategy == "equivocating-source":
+            extras = sorted(non_source, reverse=True)[: max_faults - 1]
+            return tuple(sorted([self.source] + extras))
+        return tuple(sorted(sorted(non_source, reverse=True)[:max_faults]))
+
+    def expand(self) -> List[Cell]:
+        """Cross-product every axis into concrete cells, in deterministic order.
+
+        Infeasible combinations (``n < 3f + 1`` or connectivity below
+        ``2f + 1``) are skipped.  Unknown strategy names raise immediately so
+        typos do not silently shrink the grid.
+        """
+        known = set(named_strategies()) | {FAULT_FREE}
+        for strategy in self.strategies:
+            if strategy not in known:
+                raise ConfigurationError(
+                    f"spec {self.name!r} references unknown strategy {strategy!r}"
+                )
+        cells: List[Cell] = []
+        feasibility: Dict[Tuple[str, int], bool] = {}
+        node_lists: Dict[str, List[NodeId]] = {}
+        for topology_name in self.topologies:
+            if topology_name not in node_lists:
+                node_lists[topology_name] = topology(topology_name).nodes()
+            for max_faults in self.fault_counts:
+                key = (topology_name, max_faults)
+                if key not in feasibility:
+                    graph = topology(topology_name)
+                    feasibility[key] = (
+                        graph.node_count() >= 3 * max_faults + 1
+                        and meets_connectivity_requirement(graph, max_faults)
+                    )
+                if not feasibility[key]:
+                    continue
+                for strategy in self.strategies:
+                    faulty = self._faulty_nodes(
+                        strategy, node_lists[topology_name], max_faults
+                    )
+                    for payload in self.payload_bytes:
+                        for protocol in self.protocols:
+                            cell_id = (
+                                f"{protocol}|{topology_name}|{strategy}"
+                                f"|f={max_faults}|L={payload}|Q={self.instances}"
+                                f"|src={self.source}"
+                            )
+                            cells.append(
+                                Cell(
+                                    spec_name=self.name,
+                                    cell_id=cell_id,
+                                    topology=topology_name,
+                                    strategy=strategy,
+                                    payload_bytes=payload,
+                                    instances=self.instances,
+                                    max_faults=max_faults,
+                                    protocol=protocol,
+                                    source=self.source,
+                                    seed=cell_seed(self.base_seed, cell_id),
+                                    faulty_nodes=faulty,
+                                )
+                            )
+        return cells

@@ -23,11 +23,12 @@ The paper models the network as a synchronous point-to-point network
 
 from repro.graph.connectivity import vertex_connectivity, vertex_disjoint_paths
 from repro.graph.flow_cache import (
+    cached_max_flow_with_cut,
     clear_mincut_cache,
     graph_signature,
     mincut_cache_stats,
 )
-from repro.graph.maxflow import all_max_flow_values, max_flow_value
+from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
 from repro.graph.mincut import broadcast_mincut, min_pairwise_undirected_mincut, st_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.graph.spanning_trees import pack_arborescences
@@ -38,6 +39,8 @@ __all__ = [
     "UndirectedView",
     "max_flow_value",
     "all_max_flow_values",
+    "max_flow_with_cut",
+    "cached_max_flow_with_cut",
     "st_mincut",
     "broadcast_mincut",
     "min_pairwise_undirected_mincut",

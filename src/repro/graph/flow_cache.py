@@ -19,10 +19,10 @@ tests and long-lived processes switching workloads).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Tuple
+from typing import Dict, Hashable, Set, Tuple
 
 from repro.exceptions import GraphError
-from repro.graph.maxflow import all_max_flow_values, max_flow_value
+from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
 from repro.graph.network_graph import NetworkGraph
 from repro.types import NodeId
 
@@ -123,6 +123,39 @@ def cached_st_mincut(
         value = max_flow_value(graph, source, sink)
         _CACHE.store(key, value)
     return value
+
+
+def cached_max_flow_with_cut(
+    graph: NetworkGraph,
+    source: NodeId,
+    sink: NodeId,
+    signature: GraphSignature | None = None,
+) -> Tuple[int, Set[NodeId]]:
+    """Max-flow value *and* the source side of a minimum cut, through the cache.
+
+    The cut set is stored as an immutable ``frozenset`` so cached entries can
+    never be mutated through the returned value; callers receive a fresh
+    mutable copy.  On a miss the flow value is also seeded under the plain
+    ``st`` key, so a later :func:`cached_st_mincut` on the same endpoints is a
+    hit without re-solving.
+
+    Raises:
+        GraphError: if either endpoint is missing or they coincide.
+    """
+    if not graph.has_node(source) or not graph.has_node(sink):
+        raise GraphError("source or sink not present in the graph")
+    if source == sink:
+        raise GraphError("source and sink must differ")
+    if signature is None:
+        signature = graph_signature(graph)
+    key = ("st-cut", signature, source, sink)
+    cached = _CACHE.lookup(key)
+    if cached is None:
+        value, cut = max_flow_with_cut(graph, source, sink)
+        cached = (value, frozenset(cut))
+        _CACHE.store(key, cached)
+        _CACHE.store(("st", signature, source, sink), value)
+    return cached[0], set(cached[1])
 
 
 def cached_all_target_mincuts(

@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 
 from repro.exceptions import GraphError, ProtocolError
 from repro.graph.network_graph import NetworkGraph
-from repro.types import Edge, NodeId, PhaseTiming
+from repro.types import Edge, NodeId, PhaseTiming, accumulate_link_bits
 
 
 @dataclass
@@ -84,6 +84,13 @@ class TimeAccountant:
         if phase not in self._phases:
             return {}
         return dict(self._phases[phase].link_bits)
+
+    def total_link_bits(self) -> Dict[Edge, int]:
+        """Bits charged to each link, aggregated across every phase."""
+        totals: Dict[Edge, int] = {}
+        for phase in self._phase_order:
+            accumulate_link_bits(totals, self._phases[phase].link_bits)
+        return totals
 
     def phase_bits(self, phase: str) -> int:
         """Total bits sent on all links during ``phase``."""

@@ -5,7 +5,14 @@ reproducible experiment setups: a capacitated network, a Byzantine fault
 model, a resilience parameter and a stream of inputs to broadcast.
 """
 
-from repro.workloads.scenarios import Scenario, adversarial_scenario, fault_free_scenario
+from repro.workloads.scenarios import (
+    Scenario,
+    adversarial_scenario,
+    fault_free_scenario,
+    input_stream,
+    make_strategy,
+    named_strategies,
+)
 from repro.workloads.topologies import named_topologies, topology
 
 __all__ = [
@@ -14,4 +21,7 @@ __all__ = [
     "Scenario",
     "fault_free_scenario",
     "adversarial_scenario",
+    "input_stream",
+    "make_strategy",
+    "named_strategies",
 ]

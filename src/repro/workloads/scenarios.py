@@ -3,21 +3,28 @@
 A :class:`Scenario` bundles everything needed to run an experiment so that
 examples and benchmarks stay declarative: which topology, who is faulty and
 with what strategy, how many instances of how many bytes.
+
+All randomness is threaded through explicit :class:`random.Random` instances
+derived from the scenario seed — never the module-level :mod:`random` state —
+so scenarios are bit-for-bit reproducible even when many experiment-engine
+cells are generated concurrently across worker processes.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.adversary.strategies import (
+    CrashStrategy,
     DisputeLiarStrategy,
     EqualityGarbageStrategy,
     EquivocatingSourceStrategy,
     FalseFlagStrategy,
     Phase1CorruptingRelayStrategy,
     RandomizedChaosStrategy,
+    SubBroadcastLiarStrategy,
 )
 from repro.exceptions import ConfigurationError
 from repro.graph.network_graph import NetworkGraph
@@ -25,14 +32,41 @@ from repro.transport.faults import ByzantineStrategy, FaultModel
 from repro.types import NodeId
 from repro.workloads.topologies import topology
 
-_STRATEGIES = {
-    "phase1-relay": Phase1CorruptingRelayStrategy,
-    "equivocating-source": EquivocatingSourceStrategy,
-    "equality-garbage": EqualityGarbageStrategy,
-    "false-flag": FalseFlagStrategy,
-    "dispute-liar": DisputeLiarStrategy,
-    "chaos": RandomizedChaosStrategy,
+#: Factories keyed by public strategy name.  Each factory takes the scenario
+#: seed; deterministic strategies ignore it, seeded ones (chaos) consume it.
+_STRATEGY_FACTORIES: Dict[str, Callable[[int], ByzantineStrategy]] = {
+    "phase1-relay": lambda seed: Phase1CorruptingRelayStrategy(),
+    "equivocating-source": lambda seed: EquivocatingSourceStrategy(),
+    "equality-garbage": lambda seed: EqualityGarbageStrategy(),
+    "false-flag": lambda seed: FalseFlagStrategy(),
+    "dispute-liar": lambda seed: DisputeLiarStrategy(),
+    "chaos": lambda seed: RandomizedChaosStrategy(seed=seed),
+    "crash": lambda seed: CrashStrategy(),
+    "sub-broadcast-liar": lambda seed: SubBroadcastLiarStrategy(),
 }
+
+
+def named_strategies() -> List[str]:
+    """All available adversary strategy names, sorted."""
+    return sorted(_STRATEGY_FACTORIES)
+
+
+def make_strategy(name: str, seed: int = 0) -> ByzantineStrategy:
+    """Instantiate the named adversary strategy.
+
+    Args:
+        name: One of :func:`named_strategies`.
+        seed: Determinism seed for strategies with random behaviour (chaos);
+            deterministic strategies ignore it.
+
+    Raises:
+        ConfigurationError: if the strategy name is unknown.
+    """
+    if name not in _STRATEGY_FACTORIES:
+        raise ConfigurationError(
+            f"unknown strategy {name!r}; available: {', '.join(named_strategies())}"
+        )
+    return _STRATEGY_FACTORIES[name](seed)
 
 
 @dataclass(frozen=True)
@@ -46,6 +80,8 @@ class Scenario:
         max_faults: Resilience parameter ``f``.
         fault_model: Which nodes are Byzantine and their strategy.
         inputs: The values to broadcast, one per instance.
+        seed: The seed the input stream (and any seeded strategy) was derived
+            from, so the scenario can be regenerated exactly.
     """
 
     name: str
@@ -54,11 +90,24 @@ class Scenario:
     max_faults: int
     fault_model: FaultModel
     inputs: Sequence[bytes]
+    seed: int = 0
+
+
+def input_stream(rng: random.Random, instances: int, value_bytes: int) -> List[bytes]:
+    """Generate ``instances`` random values of ``value_bytes`` bytes each.
+
+    The caller owns the :class:`random.Random` instance, so the stream is a
+    pure function of that generator's state — independent of the module-level
+    :mod:`random` state and of whatever other scenarios are being built in the
+    same process.
+    """
+    return [
+        bytes(rng.randrange(256) for _ in range(value_bytes)) for _ in range(instances)
+    ]
 
 
 def _make_inputs(instances: int, value_bytes: int, seed: int) -> List[bytes]:
-    rng = random.Random(seed)
-    return [bytes(rng.randrange(256) for _ in range(value_bytes)) for _ in range(instances)]
+    return input_stream(random.Random(seed), instances, value_bytes)
 
 
 def fault_free_scenario(
@@ -67,16 +116,18 @@ def fault_free_scenario(
     value_bytes: int = 8,
     max_faults: int = 1,
     seed: int = 0,
+    source: NodeId = 1,
 ) -> Scenario:
     """A scenario with no Byzantine nodes (the common case in steady state)."""
     graph = topology(topology_name)
     return Scenario(
         name=f"fault-free/{topology_name}",
         graph=graph,
-        source=1,
+        source=source,
         max_faults=max_faults,
         fault_model=FaultModel(),
         inputs=_make_inputs(instances, value_bytes, seed),
+        seed=seed,
     )
 
 
@@ -89,6 +140,7 @@ def adversarial_scenario(
     max_faults: int = 1,
     seed: int = 0,
     strategy: Optional[ByzantineStrategy] = None,
+    source: NodeId = 1,
 ) -> Scenario:
     """A scenario with Byzantine nodes following a named (or custom) strategy.
 
@@ -96,17 +148,14 @@ def adversarial_scenario(
         ConfigurationError: if the strategy name is unknown.
     """
     if strategy is None:
-        if strategy_name not in _STRATEGIES:
-            raise ConfigurationError(
-                f"unknown strategy {strategy_name!r}; available: {', '.join(sorted(_STRATEGIES))}"
-            )
-        strategy = _STRATEGIES[strategy_name]()
+        strategy = make_strategy(strategy_name, seed)
     graph = topology(topology_name)
     return Scenario(
         name=f"{strategy.name}/{topology_name}",
         graph=graph,
-        source=1,
+        source=source,
         max_faults=max_faults,
         fault_model=FaultModel(faulty_nodes, strategy),
         inputs=_make_inputs(instances, value_bytes, seed),
+        seed=seed,
     )

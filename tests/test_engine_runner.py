@@ -1,0 +1,254 @@
+"""Sweep expansion, the parallel runner, JSONL persistence and resume.
+
+The satellite requirement: kill a sweep mid-grid (simulated with the runner's
+``limit`` hook, which persists only the cells that finished), rerun, and the
+merged JSONL must equal a fresh full run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import (
+    ExperimentSpec,
+    FAULT_FREE,
+    dump_row,
+    get_spec,
+    named_specs,
+    render_comparison,
+    run_spec,
+    summarize_rows,
+)
+from repro.engine.spec import cell_seed
+from repro.exceptions import ConfigurationError
+
+#: A small but representative grid: 2 topologies x 3 strategies x 2 protocols.
+SMALL_SPEC = ExperimentSpec(
+    name="unit_small",
+    topologies=("k4-fast", "bottleneck4"),
+    strategies=(FAULT_FREE, "equality-garbage", "equivocating-source"),
+    payload_bytes=(4,),
+    fault_counts=(1,),
+    protocols=("nab", "classical-flooding"),
+    instances=2,
+)
+
+
+def _read_bytes(path: str) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestSpecExpansion:
+    def test_grid_size_and_order_deterministic(self):
+        first = SMALL_SPEC.expand()
+        second = SMALL_SPEC.expand()
+        assert len(first) == 2 * 3 * 2
+        assert [cell.cell_id for cell in first] == [cell.cell_id for cell in second]
+        assert [cell.seed for cell in first] == [cell.seed for cell in second]
+
+    def test_cell_seeds_unique_and_stable(self):
+        cells = SMALL_SPEC.expand()
+        seeds = [cell.seed for cell in cells]
+        assert len(set(seeds)) == len(seeds)
+        assert cells[0].seed == cell_seed(0, cells[0].cell_id)
+
+    def test_cell_id_encodes_every_axis_including_source(self):
+        # A spec differing only in `source` must produce disjoint cell ids,
+        # otherwise resume would silently reuse the other sweep's rows.
+        cells = {cell.cell_id for cell in SMALL_SPEC.expand()}
+        moved = ExperimentSpec(
+            name=SMALL_SPEC.name,
+            topologies=("k4-fast",),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(4,),
+            fault_counts=(1,),
+            protocols=("nab",),
+            instances=SMALL_SPEC.instances,
+            source=2,
+        )
+        assert cells.isdisjoint(cell.cell_id for cell in moved.expand())
+
+    def test_source_attack_places_fault_on_source(self):
+        cells = {cell.cell_id: cell for cell in SMALL_SPEC.expand()}
+        for cell in cells.values():
+            if cell.strategy == "equivocating-source":
+                assert cell.faulty_nodes == (1,)
+            elif cell.strategy == FAULT_FREE:
+                assert cell.faulty_nodes == ()
+            else:
+                assert cell.faulty_nodes == (4,)
+
+    def test_infeasible_combinations_filtered(self):
+        spec = ExperimentSpec(
+            name="unit_infeasible",
+            # figure1a has connectivity 1 < 2f + 1; k4-fast stays.
+            topologies=("figure1a", "k4-fast"),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(4,),
+            fault_counts=(1,),
+            protocols=("nab",),
+            instances=1,
+        )
+        cells = spec.expand()
+        assert [cell.topology for cell in cells] == ["k4-fast"]
+
+    def test_unknown_strategy_rejected(self):
+        spec = ExperimentSpec(
+            name="unit_bad",
+            topologies=("k4-fast",),
+            strategies=("definitely-not-a-strategy",),
+            payload_bytes=(4,),
+            fault_counts=(1,),
+            protocols=("nab",),
+        )
+        with pytest.raises(ConfigurationError):
+            spec.expand()
+
+    def test_named_specs_meet_acceptance_floor(self):
+        assert "nab_vs_classical" in named_specs()
+        spec = get_spec("nab_vs_classical")
+        cells = spec.expand()
+        assert len(cells) >= 24
+        assert len({cell.topology for cell in cells}) >= 3
+        adversaries = {cell.strategy for cell in cells} - {FAULT_FREE}
+        assert len(adversaries) >= 6
+
+
+class TestRunnerPersistence:
+    def test_serial_run_writes_one_row_per_cell(self, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        summary = run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        assert summary.computed_cells == summary.total_cells == 12
+        lines = _read_bytes(out).decode().splitlines()
+        assert len(lines) == 12
+        rows = [json.loads(line) for line in lines]
+        assert [row["cell_id"] for row in rows] == [
+            cell.cell_id for cell in SMALL_SPEC.expand()
+        ]
+        for row in rows:
+            assert row["error"] is None
+            assert row["record"]["agreement_ok"] is True
+            assert row["bounds"]["gamma_star"] >= 1
+            # The canonical dump round-trips byte-identically.
+            assert dump_row(json.loads(dump_row(row))) == dump_row(row)
+
+    def test_in_memory_run_without_persistence(self):
+        summary = run_spec(SMALL_SPEC, out_path=None, workers=1)
+        assert summary.out_path is None
+        assert len(summary.rows) == 12
+
+    def test_rerun_skips_every_completed_cell(self, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        before = _read_bytes(out)
+        summary = run_spec(SMALL_SPEC, out_path=out, workers=1)
+        assert summary.computed_cells == 0
+        assert summary.skipped_cells == 12
+        assert _read_bytes(out) == before
+
+
+class TestRunnerResume:
+    def test_killed_sweep_resumes_and_merges_bit_for_bit(self, tmp_path):
+        fresh_out = str(tmp_path / "fresh.jsonl")
+        resumed_out = str(tmp_path / "resumed.jsonl")
+        run_spec(SMALL_SPEC, out_path=fresh_out, workers=1, resume=False)
+
+        # "Kill" the sweep after 5 cells: only those rows are persisted.
+        partial = run_spec(SMALL_SPEC, out_path=resumed_out, workers=1, limit=5)
+        assert partial.computed_cells == 5
+        assert len(_read_bytes(resumed_out).decode().splitlines()) == 5
+
+        # Rerun: completed cells are skipped, the rest computed, and the
+        # merged file equals the fresh full run bit-for-bit.
+        resumed = run_spec(SMALL_SPEC, out_path=resumed_out, workers=1)
+        assert resumed.skipped_cells == 5
+        assert resumed.computed_cells == 7
+        assert _read_bytes(resumed_out) == _read_bytes(fresh_out)
+
+    def test_truncated_last_line_is_recomputed(self, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        pristine = _read_bytes(out)
+        # Simulate a kill mid-write: chop the last line in half.
+        with open(out, "wb") as handle:
+            handle.write(pristine[: len(pristine) - 40])
+        summary = run_spec(SMALL_SPEC, out_path=out, workers=1)
+        assert summary.computed_cells == 1
+        assert summary.skipped_cells == 11
+        assert _read_bytes(out) == pristine
+
+    def test_errored_cells_are_retried_on_resume(self, tmp_path):
+        spec = ExperimentSpec(
+            name="unit_error",
+            topologies=("k4-fast",),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(4,),
+            fault_counts=(1,),
+            # Unknown protocol: run_cell captures the lookup failure per cell.
+            protocols=("nab", "no-such-protocol"),
+            instances=1,
+        )
+        out = str(tmp_path / "rows.jsonl")
+        first = run_spec(spec, out_path=out, workers=1, resume=False)
+        errored = [row for row in first.rows if row["error"]]
+        assert len(errored) == 1
+        assert "no-such-protocol" in errored[0]["cell_id"]
+        # The good cell is reused; the errored one is computed again, not
+        # frozen in as "completed".
+        second = run_spec(spec, out_path=out, workers=1)
+        assert second.skipped_cells == 1
+        assert second.computed_cells == 1
+        assert [row["cell_id"] for row in second.rows] == [
+            row["cell_id"] for row in first.rows
+        ]
+
+    def test_stale_seed_rows_are_not_reused(self, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        reseeded = ExperimentSpec(
+            name=SMALL_SPEC.name,
+            topologies=SMALL_SPEC.topologies,
+            strategies=SMALL_SPEC.strategies,
+            payload_bytes=SMALL_SPEC.payload_bytes,
+            fault_counts=SMALL_SPEC.fault_counts,
+            protocols=SMALL_SPEC.protocols,
+            instances=SMALL_SPEC.instances,
+            base_seed=99,
+        )
+        summary = run_spec(reseeded, out_path=out, workers=1)
+        assert summary.skipped_cells == 0
+        assert summary.computed_cells == 12
+
+
+class TestParallelRunner:
+    def test_parallel_equals_serial_bit_for_bit(self, tmp_path):
+        serial_out = str(tmp_path / "serial.jsonl")
+        parallel_out = str(tmp_path / "parallel.jsonl")
+        run_spec(SMALL_SPEC, out_path=serial_out, workers=1, resume=False)
+        summary = run_spec(SMALL_SPEC, out_path=parallel_out, workers=2, resume=False)
+        assert summary.computed_cells == 12
+        assert _read_bytes(parallel_out) == _read_bytes(serial_out)
+
+
+class TestReporting:
+    def test_render_comparison_shows_protocols_and_bounds(self):
+        summary = run_spec(SMALL_SPEC, out_path=None, workers=1)
+        table = render_comparison(summary.rows)
+        assert "nab bits/unit" in table
+        assert "classical-flooding bits/unit" in table
+        assert "Eq.6 bound" in table
+        assert "Thm.2 bound" in table
+        # One line per scenario (6 scenarios) plus header and rule.
+        assert len(table.splitlines()) == 2 + 6
+
+    def test_summarize_rows_counts(self):
+        summary = run_spec(SMALL_SPEC, out_path=None, workers=1)
+        counters = summarize_rows(summary.rows)
+        assert counters["cells"] == 12
+        assert counters["errors"] == 0
+        assert counters["spec_violations"] == 0
+        assert counters["dispute_control_executions"] >= 1

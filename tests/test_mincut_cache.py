@@ -9,13 +9,16 @@ import random
 import pytest
 
 from repro.capacity.gamma_star import construct_gamma_family, gamma_star
+from repro.exceptions import GraphError
 from repro.graph.flow_cache import (
+    cached_max_flow_with_cut,
+    cached_st_mincut,
     clear_mincut_cache,
     graph_signature,
     mincut_cache_stats,
 )
 from repro.graph.generators import complete_graph, random_connected_network
-from repro.graph.maxflow import all_max_flow_values, max_flow_value
+from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
 from repro.graph.mincut import all_target_mincuts, broadcast_mincut, st_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.graph.undirected import UndirectedView
@@ -108,6 +111,54 @@ class TestCacheBehaviour:
         assert graph_signature(base) == graph_signature(base.copy())
         assert graph_signature(base) != graph_signature(complete_graph(4, capacity=3))
         assert graph_signature(base) != graph_signature(complete_graph(5, capacity=2))
+
+
+class TestCachedMaxFlowWithCut:
+    def test_matches_uncached_solver(self):
+        for graph in _random_graphs():
+            nodes = graph.nodes()
+            source = nodes[0]
+            for sink in nodes[1:]:
+                expected_value, expected_cut = max_flow_with_cut(graph, source, sink)
+                value, cut = cached_max_flow_with_cut(graph, source, sink)
+                assert value == expected_value
+                assert cut == expected_cut
+                # Second query is a hit and returns the same answer.
+                value_again, cut_again = cached_max_flow_with_cut(graph, source, sink)
+                assert (value_again, cut_again) == (expected_value, expected_cut)
+
+    def test_second_query_hits_cache(self):
+        graph = complete_graph(4, capacity=2)
+        cached_max_flow_with_cut(graph, 1, 3)
+        before = mincut_cache_stats()
+        cached_max_flow_with_cut(graph.copy(), 1, 3)
+        after = mincut_cache_stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_seeds_plain_st_value(self):
+        graph = complete_graph(4, capacity=2)
+        cached_max_flow_with_cut(graph, 1, 2)
+        before = mincut_cache_stats()
+        value = cached_st_mincut(graph, 1, 2)
+        after = mincut_cache_stats()
+        assert value == max_flow_value(graph, 1, 2)
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_returned_cut_mutation_does_not_poison_cache(self):
+        graph = complete_graph(4, capacity=2)
+        _value, cut = cached_max_flow_with_cut(graph, 1, 4)
+        cut.add(999)
+        _value, fresh_cut = cached_max_flow_with_cut(graph, 1, 4)
+        assert 999 not in fresh_cut
+
+    def test_rejects_bad_endpoints(self):
+        graph = complete_graph(4)
+        with pytest.raises(GraphError):
+            cached_max_flow_with_cut(graph, 1, 1)
+        with pytest.raises(GraphError):
+            cached_max_flow_with_cut(graph, 1, 99)
 
 
 class TestGammaStarWithDeduplication:
