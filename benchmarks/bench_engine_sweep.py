@@ -6,6 +6,13 @@ records cells/second for both plus the parallel speedup in
 rows (the engine's determinism contract); the >= 2x speedup gate is enforced
 only when the host actually has >= 4 CPUs, since worker processes cannot beat
 serial execution on a single core.
+
+The serial run executes in-process, so the min-cut cache's lifetime hit/miss
+counters (:func:`repro.graph.flow_cache.cache_stats`) directly measure how
+much flow solving the sweep shares across cells — the *lifetime* counters
+are used because the runner clears the cache between topologies, which
+resets the per-epoch counters mid-sweep.  The delta over the serial run is
+recorded in the artifact so cache efficacy is tracked from PR to PR.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import tempfile
 
 from _harness import scaled, suite_result, time_callable, write_results
 from repro.engine import get_spec, run_spec
+from repro.graph.flow_cache import cache_stats, clear_mincut_cache
 
 SPEC_NAME = scaled("nab_vs_classical", "nab_vs_classical_quick")
 WORKERS = 4
@@ -35,13 +43,30 @@ def _sweep(workers: int):
 
 def test_engine_sweep_parallel_speedup(benchmark):
     def _run():
+        clear_mincut_cache()
+        before = cache_stats()
         serial_seconds, serial_summary = time_callable(lambda: _sweep(1))
+        after = cache_stats()
+        # Lifetime counters survive the runner's per-topology cache clears,
+        # so the delta covers the entire serial sweep.
+        hits = after["lifetime_hits"] - before["lifetime_hits"]
+        misses = after["lifetime_misses"] - before["lifetime_misses"]
+        lookups = hits + misses
+        serial_cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        }
         parallel_seconds, parallel_summary = time_callable(lambda: _sweep(WORKERS))
-        return serial_seconds, serial_summary, parallel_seconds, parallel_summary
+        return (
+            serial_seconds, serial_summary, serial_cache,
+            parallel_seconds, parallel_summary,
+        )
 
-    serial_seconds, serial_summary, parallel_seconds, parallel_summary = (
-        benchmark.pedantic(_run, rounds=1, iterations=1)
-    )
+    (
+        serial_seconds, serial_summary, serial_cache,
+        parallel_seconds, parallel_summary,
+    ) = benchmark.pedantic(_run, rounds=1, iterations=1)
 
     assert serial_summary.computed_cells == serial_summary.total_cells
     assert serial_summary.rows == parallel_summary.rows, (
@@ -59,12 +84,22 @@ def test_engine_sweep_parallel_speedup(benchmark):
           f"{WORKERS} workers)")
     print(f"speedup:  {speedup:.2f}x  (gate {'enforced' if gate_enforced else 'skipped'}: "
           f"{cpu_count} CPU(s) available)")
+    hit_rate = serial_cache["hit_rate"]
+    if hit_rate is not None:
+        print(f"min-cut cache (serial run): {serial_cache['hits']} hits, "
+              f"{serial_cache['misses']} misses (hit rate {hit_rate:.1%})")
+    else:
+        print("min-cut cache (serial run): no lookups")
 
     path = write_results(
         "engine_sweep",
         {
             "serial": suite_result(
-                serial_seconds, operations=cells, spec=SPEC_NAME, workers=1
+                serial_seconds,
+                operations=cells,
+                spec=SPEC_NAME,
+                workers=1,
+                mincut_cache=serial_cache,
             ),
             "parallel": suite_result(
                 parallel_seconds,

@@ -1,0 +1,141 @@
+"""Pipelined NAB execution: exactness vs the Figure 3 schedule, and speedup.
+
+Two measurements, one artifact (``BENCH_pipelined_nab.json``):
+
+* **grid_exactness** — runs the ``pipelined_nab`` engine spec (the headline
+  ``nab_vs_classical`` topologies plus a depth-3 layered pipeline, sequential
+  and pipelined execution per topology) and checks that every pipelined
+  cell's measured, event-simulated completion time equals
+  ``pipelined_schedule(...)`` as an exact rational — no tolerance.
+* **deep_pipeline_speedup** — the paper's pipelining claim as an executed
+  number: on a deep layered topology, the pipelined run must beat the
+  unpipelined run (same per-hop propagation model, simulated on the same
+  event kernel) by at least 1.5x at >= 8 instances.  The gate is enforced in
+  full mode; fast mode records the smaller configuration's ratio without
+  gating it.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from _harness import fast_mode, scaled, suite_result, time_callable, write_results
+from repro.analysis.reporting import format_table
+from repro.core.nab import NetworkAwareBroadcast
+from repro.engine import get_spec, run_spec
+from repro.workloads.topologies import topology
+
+SPEC_NAME = "pipelined_nab"
+GATE_TOPOLOGY = scaled("pipeline-4x3", "pipeline-3x3")
+GATE_INSTANCES = scaled(16, 6)
+GATE_PAYLOAD_BYTES = scaled(128, 32)
+MIN_SPEEDUP = 1.5
+
+
+def _grid_exactness():
+    spec = get_spec(SPEC_NAME)
+    summary = run_spec(spec, out_path=None, workers=1, resume=False)
+    pipelined_rows = [row for row in summary.rows if row["execution"] == "pipelined"]
+    exact = 0
+    table = []
+    for row in pipelined_rows:
+        assert row["error"] is None, row["error"]
+        record = row["record"]
+        metadata = record["metadata"]
+        matches = metadata["matches_analytic"] is True
+        matches = matches and record["elapsed"] == metadata["analytic_total"]
+        exact += int(matches)
+        table.append(
+            [
+                row["topology"],
+                record["elapsed"],
+                metadata["analytic_total"],
+                "exact" if matches else "MISMATCH",
+                f"{float(Fraction(metadata['speedup'])):.3f}x",
+            ]
+        )
+    return summary, pipelined_rows, exact, table
+
+
+def _deep_pipeline():
+    inputs = [
+        bytes(((7 * index + offset) % 255) + 1 for offset in range(GATE_PAYLOAD_BYTES))
+        for index in range(GATE_INSTANCES)
+    ]
+    nab = NetworkAwareBroadcast(topology(GATE_TOPOLOGY), 1, 1)
+    return nab.run_pipelined(inputs)
+
+
+def test_pipelined_nab(benchmark):
+    def _run():
+        grid_seconds, grid = time_callable(_grid_exactness)
+        deep_seconds, deep = time_callable(_deep_pipeline)
+        return grid_seconds, grid, deep_seconds, deep
+
+    grid_seconds, grid, deep_seconds, deep = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    summary, pipelined_rows, exact, table = grid
+
+    print()
+    print(format_table(
+        ["topology", "measured", "analytic", "match", "speedup"], table
+    ))
+    print(
+        f"grid: {exact}/{len(pipelined_rows)} pipelined cells exact "
+        f"({summary.total_cells} cells total, {grid_seconds:.2f}s)"
+    )
+    speedup = deep.speedup
+    print(
+        f"deep pipeline ({GATE_TOPOLOGY}, Q={GATE_INSTANCES}, "
+        f"L={8 * GATE_PAYLOAD_BYTES} bits): depth={deep.depth} "
+        f"round={deep.round_length} sequential={deep.sequential_elapsed} "
+        f"pipelined={deep.total_elapsed} speedup={float(speedup):.3f}x "
+        f"exact={deep.analytic is not None and deep.analytic.total_time == deep.total_elapsed}"
+    )
+
+    gate_enforced = not fast_mode()
+    path = write_results(
+        "pipelined_nab",
+        {
+            "grid_exactness": suite_result(
+                grid_seconds,
+                operations=summary.total_cells,
+                spec=SPEC_NAME,
+                pipelined_cells=len(pipelined_rows),
+                exact_cells=exact,
+            ),
+            "deep_pipeline_speedup": suite_result(
+                deep_seconds,
+                operations=GATE_INSTANCES,
+                topology=GATE_TOPOLOGY,
+                instances=GATE_INSTANCES,
+                payload_bits=8 * GATE_PAYLOAD_BYTES,
+                depth=deep.depth,
+                round_length=str(deep.round_length),
+                sequential_elapsed=str(deep.sequential_elapsed),
+                pipelined_elapsed=str(deep.total_elapsed),
+                analytic_total=(
+                    None if deep.analytic is None else str(deep.analytic.total_time)
+                ),
+                speedup=float(speedup),
+                speedup_exact=str(speedup),
+                min_speedup=MIN_SPEEDUP,
+                speedup_gate_enforced=gate_enforced,
+            ),
+        },
+    )
+    print(f"wrote {path}")
+
+    # Every pipelined grid cell matches the Figure 3 closed form exactly.
+    assert exact == len(pipelined_rows) > 0
+    # The deep run is itself Fraction-exact against the analytic schedule...
+    assert deep.analytic is not None
+    assert deep.total_elapsed == deep.analytic.total_time
+    # ...and pipelining genuinely overlaps work.
+    assert deep.sequential_elapsed > deep.total_elapsed
+    if gate_enforced:
+        assert speedup >= Fraction(3, 2), (
+            f"pipelined speedup {float(speedup):.3f}x below the "
+            f"{MIN_SPEEDUP:.1f}x target on {GATE_TOPOLOGY}"
+        )

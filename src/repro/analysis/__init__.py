@@ -9,16 +9,20 @@
 
 from repro.analysis.reporting import format_table
 from repro.analysis.throughput import (
+    PipelineGap,
     ThroughputMeasurement,
     amortization_curve,
     check_record_spec,
     measure_nab_throughput,
     measurement_from_record,
+    pipeline_gap_from_record,
     verify_agreement_and_validity,
 )
 
 __all__ = [
     "ThroughputMeasurement",
+    "PipelineGap",
+    "pipeline_gap_from_record",
     "measure_nab_throughput",
     "measurement_from_record",
     "check_record_spec",

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
 from repro.core.nab import NABRunResult, NetworkAwareBroadcast
-from repro.exceptions import AgreementViolationError
+from repro.exceptions import AgreementViolationError, ProtocolError
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import FaultModel
 from repro.types import NodeId, RunRecord
@@ -47,6 +47,66 @@ class ThroughputMeasurement:
     def fraction_of_upper_bound(self) -> Fraction:
         """Measured throughput as a fraction of the Theorem 2 capacity upper bound."""
         return self.throughput / self.analysis.capacity_upper_bound
+
+
+@dataclass(frozen=True)
+class PipelineGap:
+    """Measured pipelined completion next to the Figure 3 closed form.
+
+    Attributes:
+        measured: Event-simulated pipelined completion time.
+        analytic: ``pipelined_schedule(...)`` total at the steady-state
+            parameters (``None`` when the run never reached a homogeneous
+            steady state, e.g. dispute control fired).
+        sequential: Measured unpipelined completion under the same
+            propagation model.
+        speedup: ``sequential / measured`` (``None`` if degenerate).
+        exact: Whether measured equals analytic as exact rationals (``None``
+            when there is no analytic schedule to compare against).
+    """
+
+    measured: Fraction
+    analytic: Optional[Fraction]
+    sequential: Fraction
+    speedup: Optional[Fraction]
+    exact: Optional[bool]
+
+    @property
+    def gap(self) -> Optional[Fraction]:
+        """``measured - analytic`` (0 in the steady state; ``None`` without analytic)."""
+        if self.analytic is None:
+            return None
+        return self.measured - self.analytic
+
+
+def pipeline_gap_from_record(record: RunRecord) -> PipelineGap:
+    """Extract the measured-vs-analytic pipelining comparison from a record.
+
+    Works on any record produced by the pipelined NAB executor
+    (:meth:`repro.core.nab.NetworkAwareBroadcast.run_pipelined_record` or an
+    engine cell with ``execution="pipelined"``), whose metadata carries the
+    analytic schedule and the sequential comparator as ``"p/q"`` strings.
+
+    Raises:
+        ProtocolError: if the record is not a pipelined-execution record.
+    """
+    metadata = record.metadata
+    if metadata.get("execution") != "pipelined":
+        raise ProtocolError(
+            f"record of {record.protocol!r} is not a pipelined execution"
+        )
+    analytic_raw = metadata.get("analytic_total")
+    analytic = None if analytic_raw is None else Fraction(str(analytic_raw))
+    sequential = Fraction(str(metadata["sequential_elapsed"]))
+    speedup_raw = metadata.get("speedup")
+    speedup = None if speedup_raw is None else Fraction(str(speedup_raw))
+    return PipelineGap(
+        measured=record.elapsed,
+        analytic=analytic,
+        sequential=sequential,
+        speedup=speedup,
+        exact=None if analytic is None else record.elapsed == analytic,
+    )
 
 
 def check_record_spec(record: RunRecord) -> None:

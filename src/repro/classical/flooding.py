@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence
 
 from repro.classical.broadcast_default import BroadcastDefault
 from repro.transport.faults import FaultModel
-from repro.transport.network import SynchronousNetwork
+from repro.transport.network import NetworkFactory, SynchronousNetwork
 from repro.graph.network_graph import NetworkGraph
 from repro.types import (
     BroadcastResult,
@@ -37,6 +37,7 @@ def classical_full_value_broadcast(
     max_faults: int,
     fault_model: FaultModel | None = None,
     participants: Sequence[NodeId] | None = None,
+    network_factory: NetworkFactory | None = None,
 ) -> BroadcastResult:
     """Broadcast an ``L``-bit value using only the classical (capacity-oblivious) BB.
 
@@ -47,13 +48,17 @@ def classical_full_value_broadcast(
         max_faults: The resilience parameter ``f``.
         fault_model: Byzantine behaviour; defaults to no faults.
         participants: Nodes taking part; defaults to all nodes of the graph.
+        network_factory: Transport constructor; defaults to the zero-delay
+            :class:`SynchronousNetwork` (pass a scheduled factory to measure
+            delivery on the discrete-event clock).
 
     Returns:
         A :class:`repro.types.BroadcastResult` with the fault-free outputs,
         total elapsed time and bits sent.
     """
     fault_model = fault_model if fault_model is not None else FaultModel()
-    network = SynchronousNetwork(graph, fault_model)
+    factory = network_factory if network_factory is not None else SynchronousNetwork
+    network = factory(graph, fault_model)
     nodes = sorted(participants) if participants is not None else graph.nodes()
     broadcaster = BroadcastDefault(network, nodes, max_faults)
     bit_size = max(1, 8 * len(value))
@@ -78,6 +83,7 @@ def classical_chunked_broadcast(
     fault_model: FaultModel | None = None,
     chunk_bytes: int = 1,
     instance: int = 0,
+    network_factory: NetworkFactory | None = None,
 ) -> BroadcastResult:
     """Broadcast a value chunk by chunk with direct EIG runs (no NAB machinery).
 
@@ -88,7 +94,8 @@ def classical_chunked_broadcast(
     oblivious, so its cost profile is dominated by the slowest links.
     """
     fault_model = fault_model if fault_model is not None else FaultModel()
-    network = SynchronousNetwork(graph, fault_model)
+    factory = network_factory if network_factory is not None else SynchronousNetwork
+    network = factory(graph, fault_model)
     broadcaster = BroadcastDefault(network, graph.nodes(), max_faults, instance=instance)
     chunks = [value[i : i + chunk_bytes] for i in range(0, len(value), chunk_bytes)] or [b""]
     decided_chunks: List[Dict[NodeId, object]] = []
@@ -159,11 +166,15 @@ def classical_flooding_run_record(
     inputs: Sequence[bytes],
     max_faults: int,
     fault_model: FaultModel | None = None,
+    network_factory: NetworkFactory | None = None,
 ) -> RunRecord:
     """Run the full-value baseline once per input and aggregate into a :class:`RunRecord`."""
     fault_model = fault_model if fault_model is not None else FaultModel()
     results = [
-        classical_full_value_broadcast(graph, source, value, max_faults, fault_model)
+        classical_full_value_broadcast(
+            graph, source, value, max_faults, fault_model,
+            network_factory=network_factory,
+        )
         for value in inputs
     ]
     return _aggregate_run_record(
@@ -182,6 +193,7 @@ def eig_chunked_run_record(
     max_faults: int,
     fault_model: FaultModel | None = None,
     chunk_bytes: int = 1,
+    network_factory: NetworkFactory | None = None,
 ) -> RunRecord:
     """Run the chunked EIG baseline once per input and aggregate into a :class:`RunRecord`."""
     fault_model = fault_model if fault_model is not None else FaultModel()
@@ -189,6 +201,7 @@ def eig_chunked_run_record(
         classical_chunked_broadcast(
             graph, source, value, max_faults, fault_model,
             chunk_bytes=chunk_bytes, instance=index,
+            network_factory=network_factory,
         )
         for index, value in enumerate(inputs)
     ]

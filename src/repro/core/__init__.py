@@ -19,13 +19,16 @@ convention) to every other node in three phases:
 
 :class:`repro.core.nab.NetworkAwareBroadcast` is the public entry point that
 runs a sequence of instances and reports per-instance results, timings and
-achieved throughput.
+achieved throughput; :meth:`~repro.core.nab.NetworkAwareBroadcast.run_pipelined`
+overlaps the instances per the Figure 3 pipeline on the discrete-event kernel
+(:mod:`repro.core.pipeline`).
 """
 
 from repro.core.dispute_state import DisputeState
 from repro.core.instance import InstanceResult, NABInstance
 from repro.core.nab import NABRunResult, NetworkAwareBroadcast
 from repro.core.parameters import InstanceParameters, compute_instance_parameters
+from repro.core.pipeline import PipelinedNABResult, StageTiming, run_pipelined
 
 __all__ = [
     "DisputeState",
@@ -35,4 +38,7 @@ __all__ = [
     "InstanceResult",
     "NetworkAwareBroadcast",
     "NABRunResult",
+    "PipelinedNABResult",
+    "StageTiming",
+    "run_pipelined",
 ]

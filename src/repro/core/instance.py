@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.coding.coding_matrix import generate_coding_scheme
 from repro.core.dispute_state import DisputeState
@@ -31,8 +31,8 @@ from repro.exceptions import ProtocolError
 from repro.gf.symbols import symbol_size_for
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import FaultModel
-from repro.transport.network import SynchronousNetwork
-from repro.types import NodeId, PhaseTiming
+from repro.transport.network import NetworkFactory, SynchronousNetwork
+from repro.types import NodeId, PhaseTiming, accumulate_link_bits
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,9 @@ class InstanceResult:
         newly_identified_faulty: Faulty nodes identified by this instance.
         mismatch_announced: Whether any node announced MISMATCH in step 2.2.
         link_bits: Bits sent per directed link over the whole instance.
+        phase1_depth: Maximum depth over the packed Phase 1 arborescences (the
+            number of store-and-forward hops the broadcast needs under
+            propagation delay); ``None`` when Phase 1 did not run.
     """
 
     instance: int
@@ -65,6 +68,7 @@ class InstanceResult:
     newly_identified_faulty: Tuple[NodeId, ...]
     mismatch_announced: bool
     link_bits: Dict[tuple, int] = field(default_factory=dict)
+    phase1_depth: Optional[int] = None
 
     def agreed_value(self) -> int:
         """The common output of the fault-free nodes.
@@ -79,6 +83,45 @@ class InstanceResult:
         return next(iter(values))
 
 
+def summarize_instances(
+    results: "Sequence[InstanceResult]", inputs: "Sequence[bytes]"
+) -> Tuple[
+    Tuple[Dict[NodeId, bytes], ...],
+    Dict[tuple, int],
+    list,
+    list,
+]:
+    """Aggregate per-instance results into the shared ``RunRecord`` ingredients.
+
+    The single definition used by both the sequential (``NABRunResult``) and
+    pipelined (``PipelinedNABResult``) record builders, so the two execution
+    paths can never disagree on output canonicalisation or dispute
+    aggregation.
+
+    Returns:
+        ``(outputs, link_totals, disputes, identified)`` where ``outputs``
+        renders each instance's integer outputs as byte strings of the
+        instance's payload length — the canonical form is length-preserving
+        (an output of 7 on a 2-byte payload is ``b"\\x00\\x07"``, distinct
+        from a 1-byte payload's ``b"\\x07"``).
+    """
+    link_totals: Dict[tuple, int] = {}
+    disputes: list = []
+    identified: list = []
+    for result in results:
+        accumulate_link_bits(link_totals, result.link_bits)
+        disputes.extend(sorted(pair) for pair in result.new_disputes)
+        identified.extend(result.newly_identified_faulty)
+    outputs = tuple(
+        {
+            node: value.to_bytes(len(payload), "big")
+            for node, value in result.outputs.items()
+        }
+        for payload, result in zip(inputs, results)
+    )
+    return outputs, link_totals, disputes, identified
+
+
 class NABInstance:
     """Executor for a single instance ``k`` of NAB."""
 
@@ -91,6 +134,7 @@ class NABInstance:
         dispute_state: DisputeState,
         instance: int,
         coding_seed: int = 0,
+        network_factory: NetworkFactory | None = None,
     ) -> None:
         self.graph = graph
         self.source = source
@@ -99,6 +143,9 @@ class NABInstance:
         self.dispute_state = dispute_state
         self.instance = instance
         self.coding_seed = coding_seed
+        self.network_factory = (
+            network_factory if network_factory is not None else SynchronousNetwork
+        )
 
     # ----------------------------------------------------------------- running
 
@@ -108,7 +155,7 @@ class NABInstance:
             raise ProtocolError(f"total_bits must be >= 1, got {total_bits}")
         if input_bits < 0 or input_bits >= (1 << total_bits):
             raise ProtocolError(f"input does not fit in {total_bits} bits")
-        network = SynchronousNetwork(self.graph, self.fault_model)
+        network = self.network_factory(self.graph, self.fault_model)
         instance_graph = self.dispute_state.instance_graph(self.graph)
         all_nodes = self.graph.nodes()
         fault_free = self.fault_model.fault_free(all_nodes)
@@ -142,6 +189,7 @@ class NABInstance:
             parameters.gamma,
             instance=self.instance,
         )
+        phase1_depth = max((tree.depth() for tree in phase1.trees), default=1)
 
         # Special case 2: at least f nodes excluded -> everyone left is
         # fault-free and Phase 1 alone is reliable.
@@ -151,7 +199,9 @@ class NABInstance:
                 for node in fault_free
                 if node in phase1.values
             }
-            return self._result(network, outputs, parameters, False, (), (), False)
+            return self._result(
+                network, outputs, parameters, False, (), (), False, phase1_depth
+            )
 
         phase2 = run_phase2(
             network,
@@ -171,7 +221,9 @@ class NABInstance:
                 for node in fault_free
                 if node in phase1.values
             }
-            return self._result(network, outputs, parameters, False, (), (), False)
+            return self._result(
+                network, outputs, parameters, False, (), (), False, phase1_depth
+            )
 
         phase3 = run_phase3(
             network,
@@ -203,6 +255,7 @@ class NABInstance:
             phase3.new_disputes,
             phase3.identified_faulty,
             True,
+            phase1_depth,
         )
 
     # ----------------------------------------------------------------- helpers
@@ -216,6 +269,7 @@ class NABInstance:
         new_disputes,
         identified_faulty,
         mismatch_announced: bool,
+        phase1_depth: Optional[int] = None,
     ) -> InstanceResult:
         return InstanceResult(
             instance=self.instance,
@@ -229,4 +283,5 @@ class NABInstance:
             newly_identified_faulty=tuple(identified_faulty),
             mismatch_announced=mismatch_announced,
             link_bits=network.accountant.total_link_bits(),
+            phase1_depth=phase1_depth,
         )

@@ -14,18 +14,14 @@ from fractions import Fraction
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.dispute_state import DisputeState
-from repro.core.instance import InstanceResult, NABInstance
+from repro.core.instance import InstanceResult, NABInstance, summarize_instances
+from repro.core.pipeline import PipelinedNABResult, run_pipelined
+from repro.transport.network import NetworkFactory
 from repro.exceptions import ProtocolError
 from repro.graph.connectivity import meets_connectivity_requirement
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import FaultModel
-from repro.types import (
-    Edge,
-    NodeId,
-    RunRecord,
-    accumulate_link_bits,
-    broadcast_spec_flags,
-)
+from repro.types import NodeId, RunRecord, broadcast_spec_flags
 
 
 @dataclass(frozen=True)
@@ -59,23 +55,8 @@ class NABRunResult:
             source_faulty: Whether the broadcasting source is Byzantine
                 (validity is unconstrained then).
         """
-        link_totals: Dict[Edge, int] = {}
-        disputes = []
-        identified = []
-        for result in self.instances:
-            accumulate_link_bits(link_totals, result.link_bits)
-            disputes.extend(sorted(pair) for pair in result.new_disputes)
-            identified.extend(result.newly_identified_faulty)
-        # Instance outputs are L-bit integers; render them as byte strings of
-        # the instance's payload length so the shared canonical form is
-        # length-preserving (an output of 7 on a 2-byte payload is b"\x00\x07",
-        # distinct from a 1-byte payload's b"\x07").
-        outputs = tuple(
-            {
-                node: value.to_bytes(len(payload), "big")
-                for node, value in result.outputs.items()
-            }
-            for payload, result in zip(inputs, self.instances)
+        outputs, link_totals, disputes, identified = summarize_instances(
+            self.instances, inputs
         )
         agreement_ok, validity_ok = broadcast_spec_flags(outputs, inputs, source_faulty)
         return RunRecord(
@@ -115,6 +96,10 @@ class NetworkAwareBroadcast:
         validate_connectivity: Set to ``False`` to skip the (vertex-
             connectivity) precondition check, e.g. for deliberately invalid
             networks in experiments.
+        network_factory: Builds the transport each instance runs on; defaults
+            to the zero-delay :class:`repro.transport.network.SynchronousNetwork`.
+            Pass a :class:`repro.transport.scheduled.ScheduledNetwork` factory
+            to measure delivery on the discrete-event clock.
 
     Raises:
         ProtocolError: if the preconditions on ``n``, ``f``, the source or the
@@ -129,6 +114,7 @@ class NetworkAwareBroadcast:
         fault_model: FaultModel | None = None,
         coding_seed: int = 0,
         validate_connectivity: bool = True,
+        network_factory: NetworkFactory | None = None,
     ) -> None:
         if not graph.has_node(source):
             raise ProtocolError(f"source {source} is not a node of the network")
@@ -149,6 +135,7 @@ class NetworkAwareBroadcast:
         self.fault_model = fault_model if fault_model is not None else FaultModel()
         self.fault_model.validate_for(node_count, max_faults)
         self.coding_seed = coding_seed
+        self.network_factory = network_factory
         self.dispute_state = DisputeState(max_faults)
         self._instances_run = 0
 
@@ -168,6 +155,7 @@ class NetworkAwareBroadcast:
             self.dispute_state,
             instance=self._instances_run,
             coding_seed=self.coding_seed,
+            network_factory=self.network_factory,
         )
         result = executor.run(input_bits, total_bits)
         self._instances_run += 1
@@ -203,6 +191,21 @@ class NetworkAwareBroadcast:
         (:class:`InstanceResult`) is needed.
         """
         run = self.run(values)
+        return run.as_run_record(values, self.fault_model.is_faulty(self.source))
+
+    def run_pipelined(self, values: Sequence[bytes]) -> PipelinedNABResult:
+        """Run one instance per value with Figure 3 pipelined timing.
+
+        Instance semantics (outputs, bits, dispute-state evolution) are
+        identical to :meth:`run`; completion time comes from simulating the
+        pipeline dependency structure on the discrete-event kernel.  See
+        :mod:`repro.core.pipeline`.
+        """
+        return run_pipelined(self, values)
+
+    def run_pipelined_record(self, values: Sequence[bytes]) -> RunRecord:
+        """Pipelined counterpart of :meth:`run_record` (measured timeline in metadata)."""
+        run = self.run_pipelined(values)
         return run.as_run_record(values, self.fault_model.is_faulty(self.source))
 
     # ------------------------------------------------------------------ state

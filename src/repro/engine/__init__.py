@@ -24,6 +24,7 @@ Run a named spec from the command line::
 from repro.engine.protocol import (
     Protocol,
     get_protocol,
+    network_factory_from_params,
     register_protocol,
     registered_protocols,
 )
@@ -35,7 +36,15 @@ from repro.engine.runner import (
     run_cell,
     run_spec,
 )
-from repro.engine.spec import FAULT_FREE, Cell, ExperimentSpec, cell_seed
+from repro.engine.spec import (
+    EXECUTIONS,
+    FAULT_FREE,
+    PIPELINED,
+    SEQUENTIAL,
+    Cell,
+    ExperimentSpec,
+    cell_seed,
+)
 from repro.engine.specs import get_spec, named_specs, register_spec
 from repro.types import RunRecord
 
@@ -48,6 +57,10 @@ __all__ = [
     "ExperimentSpec",
     "Cell",
     "FAULT_FREE",
+    "SEQUENTIAL",
+    "PIPELINED",
+    "EXECUTIONS",
+    "network_factory_from_params",
     "cell_seed",
     "run_spec",
     "run_cell",

@@ -16,6 +16,7 @@ from typing import Dict
 from repro.engine.report import render_comparison, summarize_rows
 from repro.engine.runner import run_spec
 from repro.engine.specs import get_spec, named_specs
+from repro.exceptions import ConfigurationError
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,27 +42,41 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore existing results and recompute every cell",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list available specs and exit"
+        "--list", "--list-specs", dest="list_specs", action="store_true",
+        help="list available specs and exit",
     )
     return parser
 
 
+def _list_specs() -> int:
+    for name in named_specs():
+        spec = get_spec(name)
+        grid = len(spec.expand())
+        print(f"{name}  ({grid} cells)")
+        if spec.description:
+            print(f"    {spec.description}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.list:
-        for name in named_specs():
-            spec = get_spec(name)
-            grid = len(spec.expand())
-            print(f"{name}  ({grid} cells)")
-            if spec.description:
-                print(f"    {spec.description}")
-        return 0
+    if args.list_specs:
+        return _list_specs()
     if not args.spec:
-        print("error: --spec is required (use --list to see available specs)",
+        print("error: --spec is required (use --list-specs to see available specs)",
               file=sys.stderr)
         return 2
 
-    spec = get_spec(args.spec)
+    try:
+        spec = get_spec(args.spec)
+    except ConfigurationError:
+        print(
+            f"error: unknown spec {args.spec!r}; registered specs are:",
+            file=sys.stderr,
+        )
+        for name in named_specs():
+            print(f"  {name}", file=sys.stderr)
+        return 2
     out_path = args.out or os.path.join("results", f"{spec.name}.jsonl")
 
     def _progress(row: Dict[str, object]) -> None:
@@ -80,9 +95,14 @@ def main(argv=None) -> int:
     elapsed = time.perf_counter() - started
 
     print()
+    resumed = f"{summary.skipped_cells} resumed"
+    if summary.discarded_rows:
+        # Covers truncated/corrupt lines, rows from another grid/seed, and
+        # errored rows deliberately recomputed.
+        resumed += f" ({summary.discarded_rows} line(s) not reused)"
     print(
         f"spec {summary.spec_name}: {summary.computed_cells} cell(s) computed, "
-        f"{summary.skipped_cells} resumed, {summary.total_cells} in grid "
+        f"{resumed}, {summary.total_cells} in grid "
         f"({elapsed:.2f}s wall)"
     )
     print(f"results: {summary.out_path}")

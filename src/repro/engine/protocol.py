@@ -14,7 +14,7 @@ can register additional protocols with :func:`register_protocol`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.classical.flooding import (
     classical_flooding_run_record,
@@ -23,8 +23,44 @@ from repro.classical.flooding import (
 from repro.core.nab import NetworkAwareBroadcast
 from repro.exceptions import ConfigurationError
 from repro.graph.network_graph import NetworkGraph
+from repro.sched.links import link_model
 from repro.transport.faults import FaultModel
+from repro.transport.network import NetworkFactory
+from repro.transport.scheduled import ScheduledNetwork
 from repro.types import NodeId, RunRecord
+
+
+def network_factory_from_params(params: Mapping[str, object]) -> Optional[NetworkFactory]:
+    """Build the transport factory a ``params`` mapping asks for.
+
+    When ``params`` carries a ``"link_model"`` name the run goes through
+    :class:`ScheduledNetwork` with that named model (``"instant"`` included —
+    the measured clock then equals the analytical one exactly, per the
+    scheduler contract); without the key the protocol keeps its default
+    zero-delay transport.
+    """
+    name = params.get("link_model")
+    if name is None:
+        return None
+    model = link_model(str(name))
+    return lambda graph, fault_model: ScheduledNetwork(
+        graph, fault_model, link_model=model
+    )
+
+
+def _check_execution(params: Mapping[str, object], protocol: "Protocol") -> bool:
+    """Whether ``params`` asks for pipelined execution (validated).
+
+    Raises:
+        ConfigurationError: if pipelined execution is requested but the
+            protocol does not declare :attr:`Protocol.supports_pipelined`.
+    """
+    pipelined = params.get("execution", "sequential") == "pipelined"
+    if pipelined and not protocol.supports_pipelined:
+        raise ConfigurationError(
+            f"protocol {protocol.name!r} does not support pipelined execution"
+        )
+    return pipelined
 
 
 class Protocol(ABC):
@@ -36,6 +72,11 @@ class Protocol(ABC):
 
     #: Registry key; must be unique among registered protocols.
     name: str = "abstract"
+
+    #: Whether the protocol honours ``params["execution"] == "pipelined"``.
+    #: The single source of truth consulted both by the adapters (rejecting
+    #: pipelined params) and by grid expansion (skipping pipelined cells).
+    supports_pipelined: bool = False
 
     @abstractmethod
     def run(
@@ -55,7 +96,7 @@ class Protocol(ABC):
             fault_model: Which nodes are Byzantine and their strategy.
             params: Protocol parameters; ``"max_faults"`` is always present,
                 adapters may consume extras (``"coding_seed"``,
-                ``"chunk_bytes"``, ...).
+                ``"chunk_bytes"``, ``"execution"``, ``"link_model"``, ...).
         """
 
 
@@ -63,15 +104,20 @@ class NABProtocol(Protocol):
     """The paper's Network-Aware Broadcast with amortised dispute control."""
 
     name = "nab"
+    supports_pipelined = True
 
     def run(self, graph, source, inputs, fault_model, params):
+        pipelined = _check_execution(params, self)
         nab = NetworkAwareBroadcast(
             graph,
             source,
             int(params["max_faults"]),
             fault_model=fault_model,
             coding_seed=int(params.get("coding_seed", 0)),
+            network_factory=network_factory_from_params(params),
         )
+        if pipelined:
+            return nab.run_pipelined_record(list(inputs))
         return nab.run_record(list(inputs))
 
 
@@ -81,8 +127,14 @@ class ClassicalFloodingProtocol(Protocol):
     name = "classical-flooding"
 
     def run(self, graph, source, inputs, fault_model, params):
+        _check_execution(params, self)
         return classical_flooding_run_record(
-            graph, source, list(inputs), int(params["max_faults"]), fault_model
+            graph,
+            source,
+            list(inputs),
+            int(params["max_faults"]),
+            fault_model,
+            network_factory=network_factory_from_params(params),
         )
 
 
@@ -92,6 +144,7 @@ class EIGChunkedProtocol(Protocol):
     name = "eig"
 
     def run(self, graph, source, inputs, fault_model, params):
+        _check_execution(params, self)
         return eig_chunked_run_record(
             graph,
             source,
@@ -99,6 +152,7 @@ class EIGChunkedProtocol(Protocol):
             int(params["max_faults"]),
             fault_model,
             chunk_bytes=int(params.get("chunk_bytes", 1)),
+            network_factory=network_factory_from_params(params),
         )
 
 

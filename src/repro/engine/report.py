@@ -27,6 +27,8 @@ def _scenario_key(row: Dict[str, object]) -> Tuple:
         row["strategy"],
         row["payload_bytes"],
         row["max_faults"],
+        row.get("execution", "sequential"),
+        row.get("link_model", "instant"),
     )
 
 
@@ -51,13 +53,16 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
         if row.get("bounds") is not None:
             scenario["bounds"] = row["bounds"]
 
-    headers = ["topology", "strategy", "L bits", "f"] + [
+    headers = ["topology", "strategy", "L bits", "f", "exec"] + [
         f"{name} bits/unit" for name in protocols
     ] + ["Eq.6 bound", "Thm.2 bound", "nab/capacity"]
     table: List[List[object]] = []
     for key, scenario in scenarios.items():
-        topology_name, strategy, payload_bytes, max_faults = key
-        line: List[object] = [topology_name, strategy, 8 * payload_bytes, max_faults]
+        topology_name, strategy, payload_bytes, max_faults, execution, model = key
+        mode = execution if model == "instant" else f"{execution}+{model}"
+        line: List[object] = [
+            topology_name, strategy, 8 * payload_bytes, max_faults, mode,
+        ]
         nab_throughput: Optional[Fraction] = None
         for protocol in protocols:
             row = scenario["records"].get(protocol)
@@ -73,8 +78,19 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
             cell = "-" if throughput is None else f"{float(throughput):.4g}"
             if not spec_ok:
                 cell += " !spec"
+            metadata = record.get("metadata") or {}
+            pipelined = metadata.get("execution") == "pipelined"
+            if pipelined and metadata.get("speedup"):
+                # Pipelined cells are measured under per-hop propagation, so
+                # their throughput is not comparable to the zero-propagation
+                # sequential rows; the like-for-like ratio (vs the per-hop
+                # sequential comparator) is appended instead.
+                speedup = _fraction(metadata["speedup"])
+                cell += f" ({float(speedup):.2f}x vs per-hop seq)"
             line.append(cell)
-            if protocol == "nab":
+            if protocol == "nab" and not pipelined:
+                # Pipelined throughput is likewise not comparable to the
+                # zero-propagation analytical bounds: leave nab/capacity "-".
                 nab_throughput = throughput
         bounds = scenario["bounds"]
         if bounds is None:

@@ -24,7 +24,7 @@ import json
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
 from repro.engine.protocol import get_protocol
@@ -75,6 +75,8 @@ def run_cell(cell: Cell) -> Dict[str, object]:
         "max_faults": cell.max_faults,
         "protocol": cell.protocol,
         "source": scenario.source,
+        "execution": cell.execution,
+        "link_model": cell.link_model,
     }
     try:
         memo_key = (cell.topology, scenario.source, cell.max_faults)
@@ -83,12 +85,22 @@ def run_cell(cell: Cell) -> Dict[str, object]:
             analysis = analyse_network(scenario.graph, scenario.source, cell.max_faults)
             _ANALYSIS_MEMO[memo_key] = analysis
         protocol = get_protocol(cell.protocol)
+        params: Dict[str, object] = {
+            "max_faults": cell.max_faults,
+            "coding_seed": cell.seed,
+            "execution": cell.execution,
+        }
+        if cell.link_model != "instant":
+            # The zero-latency scheduled clock is contractually identical to
+            # the plain transport's (see repro.transport.scheduled), so
+            # default cells skip the per-send scheduling bookkeeping entirely.
+            params["link_model"] = cell.link_model
         record = protocol.run(
             scenario.graph,
             scenario.source,
             list(scenario.inputs),
             scenario.fault_model,
-            {"max_faults": cell.max_faults, "coding_seed": cell.seed},
+            params,
         )
         row["record"] = record.to_jsonable()
         row["bounds"] = _bounds_jsonable(analysis)
@@ -119,17 +131,23 @@ def dump_row(row: Dict[str, object]) -> str:
 
 def _load_completed_rows(
     path: str, spec: ExperimentSpec, cells: Sequence[Cell]
-) -> Dict[str, Dict[str, object]]:
+) -> Tuple[Dict[str, Dict[str, object]], int]:
     """Parse an existing output file into reusable rows keyed by cell id.
 
-    Malformed lines (e.g. a truncated final line after a kill), rows that do
-    not belong to the current grid, and rows that recorded an error (so a
-    transient failure is retried rather than frozen in) are silently dropped.
+    Malformed lines — most commonly a truncated final line after a worker was
+    killed mid-write — are discarded (and counted) instead of aborting the
+    resume; rows that do not belong to the current grid and rows that
+    recorded an error (so a transient failure is retried rather than frozen
+    in) are dropped the same way.
+
+    Returns:
+        ``(completed_rows_by_cell_id, discarded_line_count)``.
     """
     expected = {cell.cell_id: cell for cell in cells}
     completed: Dict[str, Dict[str, object]] = {}
+    discarded = 0
     if not os.path.exists(path):
-        return completed
+        return completed, discarded
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -138,8 +156,10 @@ def _load_completed_rows(
             try:
                 row = json.loads(line)
             except json.JSONDecodeError:
+                discarded += 1
                 continue
             if not isinstance(row, dict):
+                discarded += 1
                 continue
             cell = expected.get(row.get("cell_id"))
             if (
@@ -150,7 +170,36 @@ def _load_completed_rows(
                 and row.get("error") is None
             ):
                 completed[cell.cell_id] = row
-    return completed
+            else:
+                discarded += 1
+    return completed, discarded
+
+
+def _write_rows_atomically(path: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Replace ``path`` with one canonical JSON line per row (write-then-rename).
+
+    The single serialization used both by the pre-append rewrite and the
+    end-of-run compaction, so resumed files can never diverge from fresh-run
+    files byte for byte.
+    """
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as tmp:
+        for row in rows:
+            tmp.write(dump_row(row) + "\n")
+    os.replace(tmp_path, path)
+
+
+def _ends_with_newline(path: str) -> bool:
+    """Whether the file's last byte is a newline (vacuously true when empty)."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() == 0:
+                return True
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) == b"\n"
+    except OSError:
+        return True
 
 
 @dataclass(frozen=True)
@@ -163,6 +212,8 @@ class RunSummary:
             (computed this run plus rows reused from a previous run).
         computed_cells: How many cells were actually executed.
         skipped_cells: How many were reused from the existing output file.
+        discarded_rows: Lines of the existing output file dropped during
+            resume (truncated/corrupt lines, stale or errored rows).
         total_cells: Size of the full grid.
         out_path: The output file, or ``None`` for in-memory runs.
     """
@@ -173,6 +224,7 @@ class RunSummary:
     skipped_cells: int
     total_cells: int
     out_path: Optional[str]
+    discarded_rows: int = 0
 
 
 def run_spec(
@@ -202,8 +254,9 @@ def run_spec(
     """
     cells = spec.expand()
     completed: Dict[str, Dict[str, object]] = {}
+    discarded = 0
     if out_path and resume:
-        completed = _load_completed_rows(out_path, spec, cells)
+        completed, discarded = _load_completed_rows(out_path, spec, cells)
     pending = [cell for cell in cells if cell.cell_id not in completed]
     if limit is not None:
         pending = pending[: max(0, limit)]
@@ -212,6 +265,16 @@ def run_spec(
     if out_path:
         directory = os.path.dirname(os.path.abspath(out_path))
         os.makedirs(directory, exist_ok=True)
+        if resume and completed and (discarded or not _ends_with_newline(out_path)):
+            # The file contained lines we are not reusing (e.g. a truncated
+            # trailing row after a mid-write kill), or its last line lacks a
+            # newline (kill between the row text and its "\n"): rewrite only
+            # the good rows before appending, so new rows never glue onto a
+            # partial line.
+            _write_rows_atomically(
+                out_path,
+                [completed[cell.cell_id] for cell in cells if cell.cell_id in completed],
+            )
         mode = "a" if (resume and completed) else "w"
         handle = open(out_path, mode, encoding="utf-8")
 
@@ -248,11 +311,7 @@ def run_spec(
     if out_path:
         # Compact to canonical grid order so a fresh run and a resumed run of
         # the same spec produce byte-identical files.
-        tmp_path = out_path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as tmp:
-            for row in rows:
-                tmp.write(dump_row(row) + "\n")
-        os.replace(tmp_path, out_path)
+        _write_rows_atomically(out_path, rows)
 
     return RunSummary(
         spec_name=spec.name,
@@ -261,4 +320,5 @@ def run_spec(
         skipped_cells=len(completed),
         total_cells=len(cells),
         out_path=out_path,
+        discarded_rows=discarded,
     )

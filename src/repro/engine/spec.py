@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.graph.connectivity import meets_connectivity_requirement
+from repro.sched.links import named_link_models
 from repro.types import NodeId
 from repro.workloads.scenarios import (
     Scenario,
@@ -31,6 +32,26 @@ from repro.workloads.topologies import topology
 
 #: Strategy-axis value meaning "no Byzantine nodes at all".
 FAULT_FREE = "fault-free"
+
+#: Execution-axis values: run instances strictly one after another, or
+#: overlapped per the Figure 3 pipeline (NAB only).
+SEQUENTIAL = "sequential"
+PIPELINED = "pipelined"
+EXECUTIONS = (SEQUENTIAL, PIPELINED)
+
+
+def _supports_pipelined(protocol_name: str) -> bool:
+    """Whether the named protocol declares pipelined support.
+
+    Unknown names expand normally (their cells record a per-cell lookup
+    error at run time) but never get pipelined grid points.
+    """
+    from repro.engine.protocol import get_protocol
+
+    try:
+        return get_protocol(protocol_name).supports_pipelined
+    except ConfigurationError:
+        return False
 
 
 def cell_seed(base_seed: int, cell_id: str) -> int:
@@ -63,6 +84,8 @@ class Cell:
     source: NodeId
     seed: int
     faulty_nodes: Tuple[NodeId, ...]
+    execution: str = SEQUENTIAL
+    link_model: str = "instant"
 
     def scenario(self) -> Scenario:
         """Build the fully specified scenario for this cell."""
@@ -100,6 +123,12 @@ class ExperimentSpec:
         payload_bytes: Per-instance value sizes in bytes.
         fault_counts: Values of the resilience parameter ``f``.
         protocols: Registered protocol names to run on every scenario.
+        executions: Execution modes (:data:`SEQUENTIAL` and/or
+            :data:`PIPELINED`); pipelined points are expanded only for
+            pipeline-capable protocols.
+        link_models: Named link models (see
+            :func:`repro.sched.links.named_link_models`) the scheduled
+            transport applies; ``"instant"`` is the paper's base model.
         instances: Number of broadcast instances per cell (``Q``).
         source: The broadcasting node (the paper uses node 1).
         base_seed: Root seed all per-cell seeds are derived from.
@@ -112,6 +141,8 @@ class ExperimentSpec:
     payload_bytes: Tuple[int, ...]
     fault_counts: Tuple[int, ...]
     protocols: Tuple[str, ...]
+    executions: Tuple[str, ...] = (SEQUENTIAL,)
+    link_models: Tuple[str, ...] = ("instant",)
     instances: int = 3
     source: NodeId = 1
     base_seed: int = 0
@@ -147,6 +178,19 @@ class ExperimentSpec:
                 raise ConfigurationError(
                     f"spec {self.name!r} references unknown strategy {strategy!r}"
                 )
+        for execution in self.executions:
+            if execution not in EXECUTIONS:
+                raise ConfigurationError(
+                    f"spec {self.name!r} references unknown execution {execution!r}; "
+                    f"available: {', '.join(EXECUTIONS)}"
+                )
+        known_models = set(named_link_models())
+        for model in self.link_models:
+            if model not in known_models:
+                raise ConfigurationError(
+                    f"spec {self.name!r} references unknown link model {model!r}; "
+                    f"available: {', '.join(sorted(known_models))}"
+                )
         cells: List[Cell] = []
         feasibility: Dict[Tuple[str, int], bool] = {}
         node_lists: Dict[str, List[NodeId]] = {}
@@ -169,24 +213,41 @@ class ExperimentSpec:
                     )
                     for payload in self.payload_bytes:
                         for protocol in self.protocols:
-                            cell_id = (
-                                f"{protocol}|{topology_name}|{strategy}"
-                                f"|f={max_faults}|L={payload}|Q={self.instances}"
-                                f"|src={self.source}"
-                            )
-                            cells.append(
-                                Cell(
-                                    spec_name=self.name,
-                                    cell_id=cell_id,
-                                    topology=topology_name,
-                                    strategy=strategy,
-                                    payload_bytes=payload,
-                                    instances=self.instances,
-                                    max_faults=max_faults,
-                                    protocol=protocol,
-                                    source=self.source,
-                                    seed=cell_seed(self.base_seed, cell_id),
-                                    faulty_nodes=faulty,
-                                )
-                            )
+                            for execution in self.executions:
+                                if execution == PIPELINED and not _supports_pipelined(
+                                    protocol
+                                ):
+                                    continue
+                                for model in self.link_models:
+                                    cell_id = (
+                                        f"{protocol}|{topology_name}|{strategy}"
+                                        f"|f={max_faults}|L={payload}|Q={self.instances}"
+                                        f"|src={self.source}"
+                                    )
+                                    # Non-default axis values are appended so
+                                    # default-grid cell ids (and hence their
+                                    # derived seeds and any previously
+                                    # persisted results) stay exactly as they
+                                    # were before these axes existed.
+                                    if execution != SEQUENTIAL:
+                                        cell_id += f"|exec={execution}"
+                                    if model != "instant":
+                                        cell_id += f"|lm={model}"
+                                    cells.append(
+                                        Cell(
+                                            spec_name=self.name,
+                                            cell_id=cell_id,
+                                            topology=topology_name,
+                                            strategy=strategy,
+                                            payload_bytes=payload,
+                                            instances=self.instances,
+                                            max_faults=max_faults,
+                                            protocol=protocol,
+                                            source=self.source,
+                                            seed=cell_seed(self.base_seed, cell_id),
+                                            faulty_nodes=faulty,
+                                            execution=execution,
+                                            link_model=model,
+                                        )
+                                    )
         return cells

@@ -68,3 +68,11 @@ class AgreementViolationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when scenario or workload configuration is inconsistent."""
+
+
+class SchedulerError(ReproError):
+    """Raised for invalid discrete-event schedules.
+
+    Examples include scheduling an event in the past, a task graph with a
+    dependency cycle, or referencing an unknown task.
+    """

@@ -26,6 +26,7 @@ from repro.graph.flow_cache import (
     cached_max_flow_with_cut,
     clear_mincut_cache,
     graph_signature,
+    cache_stats,
     mincut_cache_stats,
 )
 from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
@@ -47,6 +48,7 @@ __all__ = [
     "graph_signature",
     "clear_mincut_cache",
     "mincut_cache_stats",
+    "cache_stats",
     "vertex_connectivity",
     "vertex_disjoint_paths",
     "pack_arborescences",

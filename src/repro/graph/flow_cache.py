@@ -53,6 +53,10 @@ class MinCutCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Counters that survive :meth:`clear`, so a sweep that clears the
+        #: cache between topologies can still report its overall efficacy.
+        self.lifetime_hits = 0
+        self.lifetime_misses = 0
 
     def lookup(self, key: Hashable):
         """Return the cached value for ``key`` or ``None``, updating LRU order."""
@@ -60,9 +64,11 @@ class MinCutCache:
             value = self._entries[key]
         except KeyError:
             self.misses += 1
+            self.lifetime_misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self.lifetime_hits += 1
         return value
 
     def store(self, key: Hashable, value) -> None:
@@ -73,7 +79,11 @@ class MinCutCache:
             self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss counters.
+
+        The ``lifetime_*`` counters are deliberately kept: they track cache
+        efficacy across clears (e.g. over a whole multi-topology sweep).
+        """
         self._entries.clear()
         self.hits = 0
         self.misses = 0
@@ -96,8 +106,33 @@ def clear_mincut_cache() -> None:
 
 
 def mincut_cache_stats() -> Dict[str, int]:
-    """Current ``{"entries", "hits", "misses"}`` counters of the cache."""
+    """Current ``{"entries", "hits", "misses"}`` counters of the cache.
+
+    The minimal epoch-scoped counters (reset by :func:`clear_mincut_cache`).
+    :func:`cache_stats` builds on this and adds derived rates plus the
+    clear-surviving lifetime counters — prefer it for reporting.
+    """
     return {"entries": len(_CACHE), "hits": _CACHE.hits, "misses": _CACHE.misses}
+
+
+def cache_stats() -> Dict[str, object]:
+    """Hit/miss counters plus derived hit rates, for benchmark artifacts.
+
+    Returns ``{"entries", "hits", "misses", "hit_rate", "lifetime_hits",
+    "lifetime_misses", "lifetime_hit_rate"}``.  ``hits``/``misses`` count
+    since the last :func:`clear_mincut_cache`; the ``lifetime_*`` counters
+    survive clears (workloads like the engine runner clear the cache between
+    topologies — the lifetime counters still measure the whole sweep).  Hit
+    rates are floats, ``None`` before any lookup.
+    """
+    stats: Dict[str, object] = dict(mincut_cache_stats())
+    lookups = _CACHE.hits + _CACHE.misses
+    stats["hit_rate"] = (_CACHE.hits / lookups) if lookups else None
+    lifetime = _CACHE.lifetime_hits + _CACHE.lifetime_misses
+    stats["lifetime_hits"] = _CACHE.lifetime_hits
+    stats["lifetime_misses"] = _CACHE.lifetime_misses
+    stats["lifetime_hit_rate"] = (_CACHE.lifetime_hits / lifetime) if lifetime else None
+    return stats
 
 
 def cached_st_mincut(

@@ -1,0 +1,40 @@
+"""Discrete-event scheduling: the exact-time kernel the runtime stack sits on.
+
+* :mod:`repro.sched.kernel` — :class:`EventQueue` (deterministic timed
+  callbacks with a :class:`fractions.Fraction` clock) and
+  :func:`simulate_tasks` (dependency-driven task graphs, the shape of the
+  paper's Figure 3 pipeline).
+* :mod:`repro.sched.links` — :class:`LinkModel` propagation-delay models
+  (uniform latency, per-link heterogeneity, deterministic jitter) plus the
+  name-keyed registry experiment specs reference.
+
+The transport built on this kernel lives in
+:mod:`repro.transport.scheduled` (:class:`ScheduledNetwork`) and the
+pipelined NAB executor in :mod:`repro.core.pipeline`.
+"""
+
+from repro.sched.kernel import (
+    EventQueue,
+    Task,
+    TaskTimeline,
+    TaskTiming,
+    simulate_tasks,
+)
+from repro.sched.links import (
+    LinkModel,
+    link_model,
+    named_link_models,
+    register_link_model,
+)
+
+__all__ = [
+    "EventQueue",
+    "Task",
+    "TaskTiming",
+    "TaskTimeline",
+    "simulate_tasks",
+    "LinkModel",
+    "link_model",
+    "named_link_models",
+    "register_link_model",
+]

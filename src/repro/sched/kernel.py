@@ -1,0 +1,221 @@
+"""The discrete-event simulation kernel: an exact-time event queue and a
+dependency-driven task simulator.
+
+Everything in :mod:`repro.sched` keeps time as :class:`fractions.Fraction`, the
+same exact arithmetic the analytical layer (:mod:`repro.capacity`,
+:class:`repro.transport.accounting.TimeAccountant`) uses, so a simulated clock
+can be compared against an analytical schedule with ``==`` rather than with a
+floating-point tolerance.  Determinism is part of the contract: events firing
+at the same instant are processed in scheduling order (a monotone sequence
+number breaks ties), so a simulation is a pure function of the scheduled
+events.
+
+Two entry points:
+
+* :class:`EventQueue` — the raw kernel: schedule callbacks at absolute or
+  relative times, advance the clock by processing events in order.
+* :func:`simulate_tasks` — a task-graph simulator built on the queue: tasks
+  with exact durations and explicit dependencies are started as soon as every
+  dependency has finished, which is exactly the structure of the paper's
+  Figure 3 pipeline (instance ``q`` at hop ``h`` waits for ``(q, h-1)`` and
+  ``(q-1, h)``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulerError
+
+
+class EventQueue:
+    """A deterministic priority queue of timed callbacks with an exact clock.
+
+    The clock starts at 0 and only moves forward: events may be scheduled at
+    any time ``>= now`` and are processed in ``(time, scheduling order)``
+    order.  Callbacks may schedule further events (at or after the current
+    event's time).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Fraction, int, Optional[Callable[[], None]]]] = []
+        self._sequence = itertools.count()
+        self._now = Fraction(0)
+
+    @property
+    def now(self) -> Fraction:
+        """The current simulation time (exact)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: Fraction | int, action: Callable[[], None] | None = None) -> None:
+        """Schedule ``action`` (may be ``None`` for a pure clock marker) at ``time``.
+
+        Raises:
+            SchedulerError: if ``time`` is earlier than the current clock.
+        """
+        when = Fraction(time)
+        if when < self._now:
+            raise SchedulerError(
+                f"cannot schedule an event at {when} before the current time {self._now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._sequence), action))
+
+    def schedule_after(
+        self, delay: Fraction | int, action: Callable[[], None] | None = None
+    ) -> None:
+        """Schedule ``action`` ``delay`` time units after the current clock.
+
+        Raises:
+            SchedulerError: if ``delay`` is negative.
+        """
+        delay = Fraction(delay)
+        if delay < 0:
+            raise SchedulerError(f"delay must be non-negative, got {delay}")
+        self.schedule(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Process the next event (advancing the clock); ``False`` when empty."""
+        if not self._heap:
+            return False
+        when, _, action = heapq.heappop(self._heap)
+        self._now = when
+        if action is not None:
+            action()
+        return True
+
+    def run(self) -> Fraction:
+        """Process every pending event and return the final clock value."""
+        while self.step():
+            pass
+        return self._now
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of simulated work with an exact duration and dependencies.
+
+    Attributes:
+        name: Unique hashable task identifier.
+        duration: Exact time the task occupies once started (``>= 0``).
+        deps: Names of the tasks that must finish before this one starts.
+    """
+
+    name: Hashable
+    duration: Fraction
+    deps: Tuple[Hashable, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaskTiming:
+    """Start and end time of one simulated task."""
+
+    name: Hashable
+    start: Fraction
+    end: Fraction
+
+
+class TaskTimeline:
+    """The result of simulating a task graph: per-task timings plus makespan."""
+
+    def __init__(self, timings: Sequence[TaskTiming]) -> None:
+        self._timings = {timing.name: timing for timing in timings}
+        self._order = list(timings)
+
+    def start(self, name: Hashable) -> Fraction:
+        """When the named task started.
+
+        Raises:
+            SchedulerError: if the task is unknown.
+        """
+        return self._timing(name).start
+
+    def end(self, name: Hashable) -> Fraction:
+        """When the named task finished.
+
+        Raises:
+            SchedulerError: if the task is unknown.
+        """
+        return self._timing(name).end
+
+    def _timing(self, name: Hashable) -> TaskTiming:
+        if name not in self._timings:
+            raise SchedulerError(f"unknown task {name!r}")
+        return self._timings[name]
+
+    @property
+    def makespan(self) -> Fraction:
+        """Completion time of the whole task graph (0 for an empty graph)."""
+        if not self._order:
+            return Fraction(0)
+        return max(timing.end for timing in self._order)
+
+    def timings(self) -> List[TaskTiming]:
+        """Every task timing, in completion order (ties in start order)."""
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+def simulate_tasks(tasks: Sequence[Task]) -> TaskTimeline:
+    """Run a dependency graph of exact-duration tasks through the event queue.
+
+    Every task starts the instant its last dependency finishes (tasks never
+    queue for execution resources here — resource contention is expressed as
+    explicit dependencies, e.g. "instance ``q`` cannot use the hop-``h`` links
+    before instance ``q-1`` is done with them").
+
+    Raises:
+        SchedulerError: if task names collide, a dependency is unknown, a
+            duration is negative, or the dependency graph has a cycle.
+    """
+    by_name: Dict[Hashable, Task] = {}
+    for task in tasks:
+        if task.name in by_name:
+            raise SchedulerError(f"duplicate task name {task.name!r}")
+        if Fraction(task.duration) < 0:
+            raise SchedulerError(f"task {task.name!r} has negative duration")
+        by_name[task.name] = task
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in by_name:
+                raise SchedulerError(f"task {task.name!r} depends on unknown {dep!r}")
+
+    queue = EventQueue()
+    unfinished_deps = {task.name: len(set(task.deps)) for task in tasks}
+    dependents: Dict[Hashable, List[Hashable]] = {task.name: [] for task in tasks}
+    for task in tasks:
+        for dep in set(task.deps):
+            dependents[dep].append(task.name)
+    started: Dict[Hashable, Fraction] = {}
+    finished: List[TaskTiming] = []
+
+    def _finish(name: Hashable) -> None:
+        finished.append(TaskTiming(name=name, start=started[name], end=queue.now))
+        for dependent in dependents[name]:
+            unfinished_deps[dependent] -= 1
+            if unfinished_deps[dependent] == 0:
+                _start(dependent)
+
+    def _start(name: Hashable) -> None:
+        started[name] = queue.now
+        queue.schedule_after(Fraction(by_name[name].duration), lambda: _finish(name))
+
+    for task in tasks:
+        if unfinished_deps[task.name] == 0:
+            _start(task.name)
+    queue.run()
+
+    if len(finished) != len(tasks):
+        stuck = sorted(repr(name) for name in by_name if name not in started)
+        raise SchedulerError(
+            f"task graph has a dependency cycle; never started: {', '.join(stuck)}"
+        )
+    return TaskTimeline(finished)

@@ -17,17 +17,26 @@ enforces exactly that model:
   which :class:`repro.transport.faults.ByzantineStrategy` drives their
   behaviour.  The strategy interface is defined here (with honest defaults);
   concrete attacks live in :mod:`repro.adversary`.
+* :class:`repro.transport.scheduled.ScheduledNetwork` — the same send API
+  driven by the discrete-event kernel of :mod:`repro.sched`: per-link FIFO
+  drains, optional propagation latency/jitter, and a measured clock that
+  equals the accountant's analytical total exactly in the zero-latency case.
 """
 
 from repro.transport.accounting import TimeAccountant
 from repro.transport.faults import ByzantineStrategy, FaultModel
 from repro.transport.message import Message
-from repro.transport.network import SynchronousNetwork
+from repro.transport.network import NetworkFactory, SynchronousNetwork
+from repro.transport.scheduled import DeliveryTiming, PhaseSegment, ScheduledNetwork
 
 __all__ = [
     "Message",
     "TimeAccountant",
     "SynchronousNetwork",
+    "ScheduledNetwork",
+    "NetworkFactory",
+    "PhaseSegment",
+    "DeliveryTiming",
     "FaultModel",
     "ByzantineStrategy",
 ]

@@ -98,6 +98,19 @@ class TimeAccountant:
             return 0
         return self._phases[phase].total_bits()
 
+    def phase_fixed_overhead(self, phase: str) -> Fraction:
+        """Fixed (link-independent) time charged to ``phase`` so far."""
+        if phase not in self._phases:
+            return Fraction(0)
+        return self._phases[phase].fixed_overhead
+
+    def total_fixed_overhead(self) -> Fraction:
+        """Fixed overhead summed across every phase."""
+        return sum(
+            (self._phases[phase].fixed_overhead for phase in self._phase_order),
+            Fraction(0),
+        )
+
     def phase_elapsed(self, phase: str) -> Fraction:
         """Elapsed time of ``phase``: ``max_e bits_e / z_e`` plus fixed overhead."""
         if phase not in self._phases:

@@ -20,7 +20,7 @@ mirroring how the paper reasons about what faulty nodes inject at each step.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Tuple
 
 from repro.exceptions import GraphError
 from repro.graph.network_graph import NetworkGraph
@@ -28,6 +28,13 @@ from repro.transport.accounting import TimeAccountant
 from repro.transport.faults import FaultModel
 from repro.transport.message import Message
 from repro.types import NodeId
+
+
+#: Builds the transport a protocol instance runs on.  The default everywhere
+#: is ``SynchronousNetwork`` itself; injecting a factory (e.g. for
+#: :class:`repro.transport.scheduled.ScheduledNetwork` with a link model) is
+#: how callers swap delivery semantics without touching protocol logic.
+NetworkFactory = Callable[[NetworkGraph, FaultModel], "SynchronousNetwork"]
 
 
 class SynchronousNetwork:

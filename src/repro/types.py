@@ -187,7 +187,6 @@ class RunRecord:
         agreement_ok: Whether every instance's fault-free nodes agreed.
         validity_ok: Whether every instance decided the source's input;
             ``None`` when the source is faulty (validity is then unconstrained).
-        phase_timings: Per-phase timing breakdown, aggregated over the run.
         metadata: Free-form JSON-safe diagnostics (per-protocol).
     """
 
@@ -201,7 +200,6 @@ class RunRecord:
     dispute_control_executions: int = 0
     agreement_ok: bool = True
     validity_ok: Optional[bool] = True
-    phase_timings: Tuple[PhaseTiming, ...] = ()
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property

@@ -31,6 +31,9 @@ _TOPOLOGY_BUILDERS: Dict[str, Callable[[], NetworkGraph]] = {
         5, fast_capacity=8, slow_capacity=1
     ),
     "pipeline-3x3": lambda: generators.layered_pipeline(3, 3, capacity=1),
+    "pipeline-4x3": lambda: generators.layered_pipeline(4, 3, capacity=1),
+    "pipeline-5x3": lambda: generators.layered_pipeline(5, 3, capacity=1),
+    "pipeline-4x3-fast": lambda: generators.layered_pipeline(4, 3, capacity=4),
     "random6": lambda: generators.random_connected_network(
         6, 3, random.Random(1), max_capacity=4
     ),

@@ -179,6 +179,55 @@ class TestRunnerResume:
         summary = run_spec(SMALL_SPEC, out_path=out, workers=1)
         assert summary.computed_cells == 1
         assert summary.skipped_cells == 11
+        assert summary.discarded_rows == 1
+        assert _read_bytes(out) == pristine
+
+    def test_truncated_row_never_corrupts_the_appended_rows(self, tmp_path):
+        # A truncated trailing line has no newline; the runner must rewrite
+        # the good rows before appending, so even a second kill mid-resume
+        # leaves every line of the file parseable.
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        pristine = _read_bytes(out)
+        with open(out, "wb") as handle:
+            handle.write(pristine[: len(pristine) - 40])
+        partial = run_spec(SMALL_SPEC, out_path=out, workers=1, limit=1)
+        assert partial.computed_cells == 1
+        for line in _read_bytes(out).decode().splitlines():
+            json.loads(line)
+        # A final resume still converges to the pristine file bit for bit.
+        run_spec(SMALL_SPEC, out_path=out, workers=1)
+        assert _read_bytes(out) == pristine
+
+    def test_missing_trailing_newline_never_glues_rows(self, tmp_path):
+        # A kill can land after the full row text but before its "\n": the
+        # last line then parses fine, yet appending to it would glue two
+        # rows onto one line.  The runner must rewrite before appending.
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        pristine = _read_bytes(out)
+        # 11 valid rows, the 12th lost, and no newline after the 11th.
+        lines = pristine.decode().splitlines()
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]))
+        partial = run_spec(SMALL_SPEC, out_path=out, workers=1, limit=1)
+        assert partial.computed_cells == 1
+        assert partial.skipped_cells == 11
+        for line in _read_bytes(out).decode().splitlines():
+            json.loads(line)
+        run_spec(SMALL_SPEC, out_path=out, workers=1)
+        assert _read_bytes(out) == pristine
+
+    def test_garbage_lines_are_counted_not_fatal(self, tmp_path):
+        out = str(tmp_path / "rows.jsonl")
+        run_spec(SMALL_SPEC, out_path=out, workers=1, resume=False)
+        pristine = _read_bytes(out)
+        with open(out, "ab") as handle:
+            handle.write(b"not json at all\n[1, 2, 3]\n")
+        summary = run_spec(SMALL_SPEC, out_path=out, workers=1)
+        assert summary.computed_cells == 0
+        assert summary.skipped_cells == 12
+        assert summary.discarded_rows == 2
         assert _read_bytes(out) == pristine
 
     def test_errored_cells_are_retried_on_resume(self, tmp_path):
@@ -232,6 +281,32 @@ class TestParallelRunner:
         summary = run_spec(SMALL_SPEC, out_path=parallel_out, workers=2, resume=False)
         assert summary.computed_cells == 12
         assert _read_bytes(parallel_out) == _read_bytes(serial_out)
+
+
+class TestCli:
+    def test_list_specs_flag(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main(["--list-specs"]) == 0
+        out = capsys.readouterr().out
+        assert "nab_vs_classical" in out
+        assert "pipelined_nab" in out
+        # The original spelling keeps working.
+        assert main(["--list"]) == 0
+
+    def test_unknown_spec_is_a_friendly_error(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main(["--spec", "definitely-not-a-spec"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown spec" in err
+        assert "nab_vs_classical" in err
+
+    def test_missing_spec_points_at_list_specs(self, capsys):
+        from repro.engine.__main__ import main
+
+        assert main([]) == 2
+        assert "--list-specs" in capsys.readouterr().err
 
 
 class TestReporting:

@@ -106,6 +106,24 @@ class TestCacheBehaviour:
         stats = mincut_cache_stats()
         assert stats == {"entries": 0, "hits": 0, "misses": 0}
 
+    def test_cache_stats_lifetime_counters_survive_clear(self):
+        from repro.graph.flow_cache import cache_stats
+
+        graph = complete_graph(4, capacity=2)
+        before = cache_stats()
+        st_mincut(graph, 1, 2)
+        st_mincut(graph.copy(), 1, 2)  # hit
+        clear_mincut_cache()
+        st_mincut(graph, 1, 2)  # miss again after the clear
+        after = cache_stats()
+        # Epoch counters were reset by the clear...
+        assert after["hits"] == 0
+        assert after["misses"] == 1
+        # ...but the lifetime counters cover the whole sequence.
+        assert after["lifetime_hits"] == before["lifetime_hits"] + 1
+        assert after["lifetime_misses"] == before["lifetime_misses"] + 2
+        assert after["lifetime_hit_rate"] is not None
+
     def test_signature_distinguishes_capacities_and_structure(self):
         base = complete_graph(4, capacity=2)
         assert graph_signature(base) == graph_signature(base.copy())
