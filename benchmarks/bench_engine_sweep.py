@@ -21,8 +21,10 @@ import os
 import tempfile
 
 from _harness import scaled, suite_result, time_callable, write_results
+from repro.classical.relay import relay_path_cache_stats
 from repro.engine import get_spec, run_spec
 from repro.graph.flow_cache import cache_stats, clear_mincut_cache
+from repro.graph.spanning_trees import pack_cache_stats
 
 SPEC_NAME = scaled("nab_vs_classical", "nab_vs_classical_quick")
 WORKERS = 4
@@ -45,6 +47,8 @@ def test_engine_sweep_parallel_speedup(benchmark):
     def _run():
         clear_mincut_cache()
         before = cache_stats()
+        before_pack = pack_cache_stats()
+        before_paths = relay_path_cache_stats()
         serial_seconds, serial_summary = time_callable(lambda: _sweep(1))
         after = cache_stats()
         # Lifetime counters survive the runner's per-topology cache clears,
@@ -57,6 +61,19 @@ def test_engine_sweep_parallel_speedup(benchmark):
             "misses": misses,
             "hit_rate": (hits / lookups) if lookups else None,
         }
+        for label, probe, snapshot in (
+            ("pack", pack_cache_stats, before_pack),
+            ("relay_paths", relay_path_cache_stats, before_paths),
+        ):
+            now = probe()
+            sub_hits = now["lifetime_hits"] - snapshot["lifetime_hits"]
+            sub_misses = now["lifetime_misses"] - snapshot["lifetime_misses"]
+            sub_lookups = sub_hits + sub_misses
+            serial_cache[label] = {
+                "hits": sub_hits,
+                "misses": sub_misses,
+                "hit_rate": (sub_hits / sub_lookups) if sub_lookups else None,
+            }
         parallel_seconds, parallel_summary = time_callable(lambda: _sweep(WORKERS))
         return (
             serial_seconds, serial_summary, serial_cache,

@@ -1,0 +1,235 @@
+"""Big-field kernel and large-payload end-to-end benchmarks (PR 4 gates).
+
+Two acceptance gates:
+
+* **Kernel gate**: windowed multiplication + chunked reduction must be at
+  least 8x faster than the bit-serial oracle (``GF2m._mul_fallback``) on
+  degree-256+ fields (full mode; the shrunken fast-mode run gates 3x).  The
+  workload reuses each left operand across a batch of right operands — the
+  access pattern of the equality-check encoding (``Y_e = X C_e`` multiplies
+  each symbol of a node's value against every coding matrix), which is what
+  the per-multiplicand window-table cache is designed for.
+* **End-to-end gate**: the 512-byte, 4-instance NAB run on ``k7-unit`` (the
+  profile that motivated the PR) must be at least 5x faster than the
+  reconstructed pre-PR path — same code, but with the big-field kernels
+  forced onto the bit-serial oracles and the packing/relay-path caches
+  cleared per instance (their pre-PR lifetime).  The legacy baseline still
+  benefits from the PR's ``_satisfies_mincut`` flow-cache routing, so the
+  measured ratio is conservative.
+
+Every fast-path result is asserted identical to its oracle before timing
+counts for anything.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+from _harness import fast_mode, scaled, suite_result, time_callable, write_results
+from repro.classical.relay import clear_relay_path_cache
+from repro.core.nab import NetworkAwareBroadcast
+from repro.gf.field import GF2m, get_field
+from repro.graph.flow_cache import clear_mincut_cache
+from repro.graph.spanning_trees import clear_pack_cache
+from repro.workloads.topologies import topology
+
+#: Degrees the kernel gate runs at ("degree-256+").
+KERNEL_DEGREES = (256, 1024)
+POOL_SIZE = 32
+MUL_OPS = scaled(2048, 256)
+REPEATS = scaled(3, 1)
+MIN_MUL_SPEEDUP = scaled(8.0, 3.0)
+
+E2E_PAYLOAD_BYTES = scaled(512, 128)
+E2E_INSTANCES = scaled(4, 2)
+MIN_E2E_SPEEDUP = scaled(5.0, 1.5)
+
+
+@contextmanager
+def _legacy_big_field_kernels():
+    """Force degree>16 arithmetic onto the retained bit-serial oracles."""
+    fast_mul = GF2m._mul_big
+    fast_inv = GF2m._inv_big
+    fast_square = GF2m.square
+
+    def legacy_square(self, a):
+        if self._big:
+            return self._mul_fallback(a, a)
+        return fast_square(self, a)
+
+    GF2m._mul_big = GF2m._mul_fallback
+    GF2m._inv_big = GF2m._inv_fallback
+    GF2m.square = legacy_square
+    try:
+        yield
+    finally:
+        GF2m._mul_big = fast_mul
+        GF2m._inv_big = fast_inv
+        GF2m.square = fast_square
+
+
+def _mul_suite(degree: int):
+    field = get_field(degree)
+    rng = random.Random(900 + degree)
+    pool = [field.random_nonzero(rng) for _ in range(POOL_SIZE)]
+    pairs = [
+        (pool[i % POOL_SIZE], field.random_nonzero(rng)) for i in range(MUL_OPS)
+    ]
+
+    fast = [field.mul(a, b) for a, b in pairs]
+    oracle = [field._mul_fallback(a, b) for a, b in pairs]
+    assert fast == oracle, f"windowed mul diverged from the oracle at degree {degree}"
+
+    def _fast():
+        mul = field.mul
+        for a, b in pairs:
+            mul(a, b)
+
+    def _oracle():
+        mul = field._mul_fallback
+        for a, b in pairs:
+            mul(a, b)
+
+    fast_seconds, _ = time_callable(_fast, repeat=REPEATS)
+    oracle_seconds, _ = time_callable(_oracle, repeat=REPEATS)
+    return fast_seconds, oracle_seconds
+
+
+def _inv_suite(degree: int):
+    field = get_field(degree)
+    rng = random.Random(7000 + degree)
+    elements = [field.random_nonzero(rng) for _ in range(scaled(64, 16))]
+    fast = [field.inv(a) for a in elements]
+    oracle = [field._inv_fallback(a) for a in elements]
+    assert fast == oracle, "fast inverse diverged from the oracle"
+    fast_seconds, _ = time_callable(lambda: [field.inv(a) for a in elements], repeat=REPEATS)
+    oracle_seconds, _ = time_callable(
+        lambda: [field._inv_fallback(a) for a in elements], repeat=REPEATS
+    )
+    return fast_seconds, oracle_seconds
+
+
+def _e2e_values():
+    rng = random.Random(20260729)
+    return [bytes(rng.randrange(256) for _ in range(E2E_PAYLOAD_BYTES)) for _ in range(E2E_INSTANCES)]
+
+
+def _run_nab(values):
+    graph = topology("k7-unit")
+    nab = NetworkAwareBroadcast(graph, 1, 1)
+    return nab.run(values)
+
+
+def _clear_structure_caches():
+    clear_mincut_cache()
+    clear_pack_cache()
+    clear_relay_path_cache()
+
+
+def _e2e_suite():
+    values = _e2e_values()
+
+    # New path: warm steady state (second run of the same topology), which is
+    # what every sweep after the first cell actually pays.
+    _clear_structure_caches()
+    fast_seconds, fast_result = time_callable(lambda: _run_nab(values), repeat=2)
+
+    # Legacy path: bit-serial kernels, caches scoped to one instance as they
+    # effectively were pre-PR (per-object / per-call lifetimes).
+    def _legacy():
+        graph = topology("k7-unit")
+        nab = NetworkAwareBroadcast(graph, 1, 1)
+        results = []
+        with _legacy_big_field_kernels():
+            for value in values:
+                clear_pack_cache()
+                clear_relay_path_cache()
+                results.append(nab.run_instance(value))
+        return results
+
+    legacy_seconds, legacy_results = time_callable(_legacy, repeat=1)
+
+    # The two paths must produce identical protocol behaviour.
+    assert [r.outputs for r in legacy_results] == [
+        r.outputs for r in fast_result.instances
+    ], "legacy and fast paths disagree on outputs"
+    assert [r.elapsed for r in legacy_results] == [
+        r.elapsed for r in fast_result.instances
+    ], "legacy and fast paths disagree on the analytical clock"
+    return fast_seconds, legacy_seconds, fast_result
+
+
+def test_large_field_kernels_and_e2e(benchmark):
+    def _run():
+        mul = {degree: _mul_suite(degree) for degree in KERNEL_DEGREES}
+        inv = _inv_suite(820)
+        e2e = _e2e_suite()
+        return mul, inv, e2e
+
+    mul, inv, e2e = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    suites = {}
+    print()
+    mul_speedups = {}
+    for degree, (fast_seconds, oracle_seconds) in mul.items():
+        speedup = oracle_seconds / fast_seconds
+        mul_speedups[degree] = speedup
+        print(
+            f"GF(2^{degree}) mul x{MUL_OPS}: {fast_seconds * 1e3:8.2f} ms vs "
+            f"{oracle_seconds * 1e3:8.2f} ms bit-serial ({speedup:5.1f}x)"
+        )
+        suites[f"mul_degree_{degree}"] = suite_result(
+            fast_seconds,
+            operations=MUL_OPS,
+            field_degree=degree,
+            baseline_wall_seconds=oracle_seconds,
+            speedup_vs_bit_serial=speedup,
+        )
+
+    inv_fast, inv_oracle = inv
+    inv_speedup = inv_oracle / inv_fast
+    print(
+        f"GF(2^820) inv:        {inv_fast * 1e3:8.2f} ms vs "
+        f"{inv_oracle * 1e3:8.2f} ms bit-serial ({inv_speedup:5.1f}x)"
+    )
+    suites["inv_degree_820"] = suite_result(
+        inv_fast,
+        operations=scaled(64, 16),
+        field_degree=820,
+        baseline_wall_seconds=inv_oracle,
+        speedup_vs_bit_serial=inv_speedup,
+    )
+
+    e2e_fast, e2e_legacy, run = e2e
+    e2e_speedup = e2e_legacy / e2e_fast
+    print(
+        f"{E2E_PAYLOAD_BYTES}B x{E2E_INSTANCES} NAB on k7-unit: "
+        f"{e2e_fast * 1e3:8.1f} ms vs {e2e_legacy * 1e3:8.1f} ms legacy "
+        f"({e2e_speedup:5.1f}x)"
+    )
+    suites["nab_512b_k7_unit"] = suite_result(
+        e2e_fast,
+        operations=E2E_INSTANCES,
+        payload_bytes=E2E_PAYLOAD_BYTES,
+        instances=E2E_INSTANCES,
+        legacy_wall_seconds=e2e_legacy,
+        speedup_vs_legacy=e2e_speedup,
+        bits_sent=run.total_bits,
+    )
+
+    path = write_results("large_field", suites)
+    print(f"wrote {path}")
+
+    for degree, speedup in mul_speedups.items():
+        assert speedup >= MIN_MUL_SPEEDUP, (
+            f"degree-{degree} mul speedup {speedup:.1f}x below the "
+            f"{MIN_MUL_SPEEDUP:.0f}x gate"
+        )
+    assert e2e_speedup >= MIN_E2E_SPEEDUP, (
+        f"end-to-end speedup {e2e_speedup:.1f}x below the {MIN_E2E_SPEEDUP:.0f}x gate"
+    )
+    if not fast_mode():
+        assert inv_speedup >= 1.5, (
+            f"fast inverse should clearly beat the oracle, got {inv_speedup:.1f}x"
+        )

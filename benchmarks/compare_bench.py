@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Diff fresh ``BENCH_*.json`` artifacts against the committed baselines.
+
+For every ``benchmarks/BENCH_<name>.json`` on disk, the committed version is
+read from git (``git show <ref>:benchmarks/BENCH_<name>.json``) and each
+suite's ``wall_seconds`` is compared.  Suites more than ``--threshold``
+(default 20%) slower than their baseline are flagged as regressions.
+
+Comparisons are only meaningful between runs of the same mode: a fresh
+fast-mode artifact (CI smoke runs) measured against a committed full-mode
+baseline is reported as *incomparable* and never flagged.  The script is
+informational by default (exit 0 regardless); pass ``--strict`` to exit
+nonzero when regressions are found.  ``python benchmarks/run_all.py
+--compare`` runs it after the suites as a trend report.
+
+Usage:
+    python benchmarks/compare_bench.py                 # report vs HEAD
+    python benchmarks/compare_bench.py --ref HEAD~1    # vs an older baseline
+    python benchmarks/compare_bench.py --strict        # fail on regressions
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+_REPO_ROOT = os.path.dirname(_BENCH_DIR)
+
+#: Relative wall-second increase above which a suite counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+
+def _load_fresh(path: str) -> Optional[Dict]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _load_baseline(name: str, ref: str) -> Optional[Dict]:
+    """The committed artifact at ``ref``, or ``None`` when absent/unreadable."""
+    completed = subprocess.run(
+        ["git", "show", f"{ref}:benchmarks/{name}"],
+        cwd=_REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if completed.returncode != 0:
+        return None
+    try:
+        return json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare_artifact(
+    fresh: Dict, baseline: Dict, threshold: float
+) -> List[Dict[str, object]]:
+    """Per-suite comparison rows for one benchmark artifact."""
+    rows: List[Dict[str, object]] = []
+    fresh_suites = fresh.get("suites", {})
+    base_suites = baseline.get("suites", {})
+    modes_match = bool(fresh.get("fast_mode")) == bool(baseline.get("fast_mode"))
+    for suite, payload in sorted(fresh_suites.items()):
+        base = base_suites.get(suite)
+        new_wall = payload.get("wall_seconds") if isinstance(payload, dict) else None
+        old_wall = base.get("wall_seconds") if isinstance(base, dict) else None
+        row: Dict[str, object] = {
+            "suite": suite,
+            "new_wall": new_wall,
+            "old_wall": old_wall,
+        }
+        if not modes_match:
+            row["status"] = "incomparable (fast/full mode mismatch)"
+        elif base is None or old_wall is None or new_wall is None:
+            row["status"] = "no baseline"
+        elif old_wall <= 0:
+            row["status"] = "no baseline"
+        else:
+            change = (new_wall - old_wall) / old_wall
+            row["change"] = change
+            row["status"] = "REGRESSION" if change > threshold else "ok"
+        rows.append(row)
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/compare_bench.py",
+        description="Diff fresh BENCH_*.json files against committed baselines.",
+    )
+    parser.add_argument("--ref", default="HEAD", help="git ref holding the baselines")
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative wall-seconds increase flagged as a regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when regressions are flagged (default: informational)",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = sorted(glob.glob(os.path.join(_BENCH_DIR, "BENCH_*.json")))
+    if not artifacts:
+        print("no BENCH_*.json artifacts found; run the benchmarks first")
+        return 0
+
+    regressions = 0
+    compared = 0
+    for path in artifacts:
+        name = os.path.basename(path)
+        fresh = _load_fresh(path)
+        if fresh is None:
+            print(f"{name}: unreadable, skipped")
+            continue
+        baseline = _load_baseline(name, args.ref)
+        if baseline is None:
+            print(f"{name}: no committed baseline at {args.ref}, skipped")
+            continue
+        print(f"{name} (vs {args.ref}):")
+        for row in compare_artifact(fresh, baseline, args.threshold):
+            status = row["status"]
+            if status == "REGRESSION":
+                regressions += 1
+            if "change" in row:
+                compared += 1
+                print(
+                    f"  {row['suite']:<28} {row['old_wall']:.4f}s -> "
+                    f"{row['new_wall']:.4f}s  ({row['change']:+.1%})  {status}"
+                )
+            else:
+                print(f"  {row['suite']:<28} {status}")
+
+    print(
+        f"\n{compared} suite(s) compared, {regressions} regression(s) beyond "
+        f"{args.threshold:.0%}"
+    )
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,11 @@ any suite fails or raises — so benchmarks cannot silently rot.
 Usage:
     python benchmarks/run_all.py            # fast mode (default)
     REPRO_BENCH_FAST=0 python benchmarks/run_all.py   # full sizes
+    python benchmarks/run_all.py --compare  # + diff artifacts vs committed baselines
+
+``--compare`` appends an informational report (``compare_bench.py``) diffing
+the freshly written ``BENCH_*.json`` files against the versions committed at
+``HEAD``; it never changes the exit code (trend tooling, not a gate).
 """
 
 from __future__ import annotations
@@ -19,7 +24,9 @@ import subprocess
 import sys
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    compare = "--compare" in argv
     bench_dir = os.path.dirname(os.path.abspath(__file__))
     repo_root = os.path.dirname(bench_dir)
     src_dir = os.path.join(repo_root, "src")
@@ -43,6 +50,15 @@ def main() -> int:
         )
         if completed.returncode != 0:
             failures.append(name)
+
+    if compare:
+        # Informational trend report; failures here must never fail the run.
+        print("=== compare vs committed baselines", flush=True)
+        subprocess.run(
+            [sys.executable, os.path.join(bench_dir, "compare_bench.py")],
+            env=env,
+            cwd=repo_root,
+        )
 
     if failures:
         print(f"{len(failures)} benchmark suite(s) FAILED: {', '.join(failures)}", file=sys.stderr)

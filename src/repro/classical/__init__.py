@@ -31,10 +31,16 @@ from repro.classical.flooding import (
     classical_full_value_broadcast,
     eig_chunked_run_record,
 )
-from repro.classical.relay import DisjointPathRelay
+from repro.classical.relay import (
+    DisjointPathRelay,
+    clear_relay_path_cache,
+    relay_path_cache_stats,
+)
 
 __all__ = [
     "DisjointPathRelay",
+    "clear_relay_path_cache",
+    "relay_path_cache_stats",
     "EIGBroadcast",
     "BroadcastDefault",
     "classical_full_value_broadcast",

@@ -13,6 +13,19 @@ channel's.)
 The relay charges every hop of every path to the accountant, so the
 polynomial-in-``n`` overhead the paper attributes to ``Broadcast_Default`` is
 measured rather than assumed.
+
+Performance notes:
+    Deriving the disjoint paths is a max-flow decomposition per ordered node
+    pair.  Every :class:`DisjointPathRelay` used to recompute them from
+    scratch because its cache died with the object (NAB builds a fresh relay
+    per instance).  The paths are a pure function of the graph, so they are
+    now memoised process-wide in an LRU keyed on ``(graph_signature, sender,
+    receiver, path_count)`` — the canonical-signature contract of
+    :mod:`repro.graph.flow_cache`.  Each relay keeps a small per-object
+    first-level dict so hot pairs skip even the signature hashing.
+    :func:`clear_relay_path_cache` resets the shared cache (the engine runner
+    calls it between topologies); :func:`relay_path_cache_stats` exposes its
+    counters.
 """
 
 from __future__ import annotations
@@ -22,12 +35,32 @@ from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.graph.connectivity import local_connectivity, vertex_disjoint_paths
+from repro.graph.flow_cache import GraphSignature, MinCutCache, graph_signature
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.network import SynchronousNetwork
 from repro.types import NodeId
 
 #: Payload delivered when a majority cannot be established.
 DEFAULT_VALUE = None
+
+#: Process-wide memo of vertex-disjoint relay paths.  Values are stored as
+#: tuples of node tuples; lookups hand out fresh lists, so cached paths can
+#: never be mutated through a caller.
+_PATH_CACHE = MinCutCache(max_entries=4096)
+
+
+def relay_path_cache_stats() -> Dict[str, object]:
+    """Hit/miss counters of the shared path cache (``MinCutCache.stats`` shape).
+
+    The ``lifetime_*`` counters survive :func:`clear_relay_path_cache`, so a
+    sweep that clears between topologies can still report whole-run efficacy.
+    """
+    return _PATH_CACHE.stats()
+
+
+def clear_relay_path_cache() -> None:
+    """Reset the process-wide relay path cache."""
+    _PATH_CACHE.clear()
 
 
 class DisjointPathRelay:
@@ -46,28 +79,49 @@ class DisjointPathRelay:
         self.instance = instance
         self.path_count = 2 * max_faults + 1
         self._path_cache: Dict[Tuple[NodeId, NodeId], List[List[NodeId]]] = {}
+        self._graph_signature: GraphSignature | None = None
 
     # ------------------------------------------------------------------ paths
 
     def paths_between(self, sender: NodeId, receiver: NodeId) -> List[List[NodeId]]:
         """The ``2f + 1`` vertex-disjoint paths used for this ordered pair (cached).
 
+        Consults the per-relay dict first, then the process-wide LRU shared by
+        every relay over a structurally identical graph (the graph signature
+        is computed once per relay, so the underlying graph must not be
+        mutated during the relay's lifetime — NAB always hands the relay a
+        frozen graph).
+
         Raises:
             ProtocolError: if the network does not contain enough disjoint
                 paths (i.e. its connectivity is below ``2f + 1``).
         """
         key = (sender, receiver)
-        if key not in self._path_cache:
+        paths = self._path_cache.get(key)
+        if paths is None:
             graph: NetworkGraph = self.network.graph
-            if local_connectivity(graph, sender, receiver) < self.path_count:
-                raise ProtocolError(
-                    f"network connectivity between {sender} and {receiver} is below "
-                    f"2f + 1 = {self.path_count}; reliable relay impossible"
-                )
-            self._path_cache[key] = vertex_disjoint_paths(
-                graph, sender, receiver, self.path_count
+            if self._graph_signature is None:
+                self._graph_signature = graph_signature(graph)
+            shared_key = (
+                "relay-paths",
+                self._graph_signature,
+                sender,
+                receiver,
+                self.path_count,
             )
-        return self._path_cache[key]
+            cached = _PATH_CACHE.lookup(shared_key)
+            if cached is None:
+                if local_connectivity(graph, sender, receiver) < self.path_count:
+                    raise ProtocolError(
+                        f"network connectivity between {sender} and {receiver} is below "
+                        f"2f + 1 = {self.path_count}; reliable relay impossible"
+                    )
+                fresh = vertex_disjoint_paths(graph, sender, receiver, self.path_count)
+                cached = tuple(tuple(path) for path in fresh)
+                _PATH_CACHE.store(shared_key, cached)
+            paths = [list(path) for path in cached]
+            self._path_cache[key] = paths
+        return paths
 
     # ------------------------------------------------------------------- send
 

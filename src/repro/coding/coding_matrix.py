@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Sequence
 
 from repro.exceptions import ProtocolError
 from repro.gf.field import GF2m, get_field
@@ -112,12 +112,13 @@ def generate_coding_scheme(
     )
 
 
-def encode_value(scheme: CodingScheme, symbols: Tuple[int, ...] | list, edge: Edge) -> list:
+def encode_value(scheme: CodingScheme, symbols: Sequence[int], edge: Edge) -> List[int]:
     """Compute the coded symbols ``Y_e = X C_e`` a node sends on ``edge``.
 
     Args:
         scheme: The coding scheme in force.
-        symbols: The node's value as a length-``rho`` symbol vector ``X``.
+        symbols: The node's value as a length-``rho`` symbol vector ``X``;
+            any sequence type (list, tuple, ...) is accepted.
         edge: The outgoing directed edge.
 
     Returns:

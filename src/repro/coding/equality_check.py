@@ -150,10 +150,11 @@ def run_equality_check(
             # Each coded symbol physically occupies symbol_bits bits on the
             # link, so adversarial symbols are truncated to the field size.
             outgoing = [symbol & (scheme.field.order - 1) for symbol in outgoing]
-        bits = capacity * scheme.symbol_bits
-        network.send(tail, head, tuple(outgoing), bits, phase, kind="equality_coded")
-        sent_vectors[(tail, head)] = tuple(outgoing)
-        received_vectors[(tail, head)] = tuple(outgoing)
+        message = network.send_vector(
+            tail, head, outgoing, scheme.symbol_bits, phase, kind="equality_coded"
+        )
+        sent_vectors[(tail, head)] = message.payload
+        received_vectors[(tail, head)] = message.payload
 
     # Step 2: every node checks each incoming edge against its own value.
     flags: Dict[NodeId, bool] = {}

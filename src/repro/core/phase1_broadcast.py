@@ -128,19 +128,28 @@ def run_phase1(
                     # A link message physically carries symbol_bits bits, so
                     # whatever the adversary injects is truncated to that size.
                     outgoing &= (1 << symbol_bits) - 1
-                network.send(
-                    parent,
-                    child,
-                    outgoing,
-                    symbol_bits,
-                    phase,
-                    kind=f"phase1_symbol:tree{tree_index}",
-                )
                 sent_symbols[(tree_index, parent, child)] = outgoing
                 received_symbols[(tree_index, child)] = outgoing
                 holding[child] = outgoing
                 per_node_symbols[child][tree_index] = outgoing
                 frontier.append(child)
+
+    # One batched transmission per edge: every symbol the trees route over an
+    # edge rides in a single per-edge vector (trees share the phase as one
+    # synchronous round, so per-link bit totals — and hence the measured and
+    # analytical clocks — are identical to per-tree sends).  Which tree each
+    # vector entry belongs to is public knowledge: the packing is a
+    # deterministic function of the instance graph.
+    edge_vectors: Dict[Tuple[NodeId, NodeId], List[int]] = {}
+    for tree_index, tree in enumerate(trees):
+        for parent, child in tree.edges():
+            edge_vectors.setdefault((parent, child), []).append(
+                sent_symbols[(tree_index, parent, child)]
+            )
+    for (parent, child), vector in sorted(edge_vectors.items()):
+        network.send_vector(
+            parent, child, vector, symbol_bits, phase, kind="phase1_symbols"
+        )
 
     values = {
         node: symbols_to_bits(per_node_symbols[node], symbol_bits) & ((1 << total_bits) - 1)

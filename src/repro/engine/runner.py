@@ -27,9 +27,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
+from repro.classical.relay import clear_relay_path_cache
 from repro.engine.protocol import get_protocol
 from repro.engine.spec import Cell, ExperimentSpec
 from repro.graph.flow_cache import clear_mincut_cache
+from repro.graph.spanning_trees import clear_pack_cache
 
 #: Version stamp of the persisted row layout; bump on breaking changes so
 #: resume never mixes incompatible rows.
@@ -116,10 +118,18 @@ _LAST_TOPOLOGY: Optional[str] = None
 
 
 def _execute_cell(cell: Cell) -> Dict[str, object]:
-    """Worker entry point: per-topology cache hygiene around :func:`run_cell`."""
+    """Worker entry point: per-topology cache hygiene around :func:`run_cell`.
+
+    All three process-wide structure caches (min-cut solutions, arborescence
+    packings, relay paths) are keyed on canonical graph signatures, so
+    clearing them is about memory, not correctness; cells arrive grouped by
+    topology, so the clears are rare.
+    """
     global _LAST_TOPOLOGY
     if cell.topology != _LAST_TOPOLOGY:
         clear_mincut_cache()
+        clear_pack_cache()
+        clear_relay_path_cache()
         _LAST_TOPOLOGY = cell.topology
     return run_cell(cell)
 

@@ -122,6 +122,32 @@ register_spec(
 
 register_spec(
     ExperimentSpec(
+        name="large_payloads",
+        # Topologies chosen for their equality-check rate rho (k4-fast: 8,
+        # ring7-chords: 6, k7-fast: 15): the per-symbol field degree is
+        # ceil(L / rho), so this grid works in GF(2^m) for m between ~1k and
+        # ~22k bits.  Infeasible before PR 4: bit-serial field arithmetic,
+        # per-instance arborescence re-packing and per-relay path re-derivation
+        # made multi-KB cells minutes each; the windowed kernels + structure
+        # caches + batched sends bring the whole grid into the CI budget.
+        topologies=("k4-fast", "ring7-chords", "k7-fast"),
+        strategies=(FAULT_FREE,),
+        payload_bytes=(2048, 4096, 8192, 16384),
+        fault_counts=(1,),
+        protocols=("nab", "classical-flooding"),
+        instances=2,
+        description=(
+            "The paper's asymptotic regime: 2 KB-16 KB payloads on three "
+            "capacity-rich topologies, NAB vs the capacity-oblivious "
+            "full-value baseline (24 cells).  Throughput should approach "
+            "the Eq. 6 bound as L grows — the headline claim, now cheap "
+            "enough to sweep."
+        ),
+    )
+)
+
+register_spec(
+    ExperimentSpec(
         name="latency_models",
         # 7-node topologies only: the lan-wan model's slow links touch node 7,
         # so smaller graphs would silently degenerate to uniform latency.

@@ -17,8 +17,12 @@ Performance notes:
     internal constructor, which makes matrix products and Gaussian
     elimination over table-backed fields an order of magnitude faster than
     the polynomial path (see ``benchmarks/bench_gf_kernels.py``).  Degrees
-    above 16 transparently use the original polynomial arithmetic, which is
-    also retained on every field as the correctness oracle for tests.
+    above 16 run on the windowed big-field kernels: carry-less multiplication
+    through cached 8-bit window tables, linear-time squaring, chunked modular
+    reduction against a per-field reduction table, and an inlined
+    extended-Euclid inverse (see ``benchmarks/bench_large_field.py``).  The
+    original bit-serial polynomial arithmetic is retained on every field as
+    the correctness oracle for tests.
 
 Public surface:
 

@@ -36,13 +36,23 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import FieldError
 from repro.gf.polynomials import (
+    ReductionTable,
     irreducible_polynomial,
     is_irreducible,
     poly_degree,
     poly_divmod,
     poly_mod,
     poly_mul,
+    poly_reduce,
+    poly_square,
+    reduction_table,
+    window_table,
 )
+
+#: Total memory budget (bytes, approximate) for one field's cache of per-
+#: multiplicand window tables; each table holds 256 shifted multiples of one
+#: element, i.e. ~``32 * degree`` bytes.
+_WINDOW_CACHE_BYTES = 4 << 20
 
 # Largest degree for which log/antilog tables are built (2^16 entries tops).
 _TABLE_MAX_DEGREE = 16
@@ -129,7 +139,19 @@ class GF2m:
             not an irreducible polynomial of the requested degree.
     """
 
-    __slots__ = ("degree", "modulus", "order", "_mask", "_exp", "_log", "_inv_t")
+    __slots__ = (
+        "degree",
+        "modulus",
+        "order",
+        "_mask",
+        "_exp",
+        "_log",
+        "_inv_t",
+        "_redtab",
+        "_wtab",
+        "_wtab_limit",
+        "_big",
+    )
 
     def __init__(self, degree: int, modulus: int | None = None) -> None:
         if degree < 1:
@@ -151,6 +173,14 @@ class GF2m:
         self._exp: List[int] | None = None
         self._log: List[int] | None = None
         self._inv_t: List[int] | None = None
+        # Big-field kernel state (degree > 16): the precomputed chunked-
+        # reduction table for the fixed modulus (``False`` when the modulus is
+        # too dense, meaning reduce falls back to division) and a bounded
+        # cache of per-multiplicand window tables.
+        self._redtab: ReductionTable | bool | None = None
+        self._wtab: Dict[int, List[int]] = {}
+        self._wtab_limit = max(8, _WINDOW_CACHE_BYTES // (32 * degree))
+        self._big = degree > _TABLE_MAX_DEGREE
 
     # ------------------------------------------------------------------ tables
 
@@ -220,19 +250,26 @@ class GF2m:
         return a
 
     def mul(self, a: int, b: int) -> int:
-        """Field multiplication (table lookup when available)."""
+        """Field multiplication (log/antilog lookup, or the windowed kernel)."""
         if a == 0 or b == 0:
             return 0
+        if self._big:
+            return self._mul_big(a, b)
         log = self._log
         if log is None:
-            if not self._ensure_tables():
-                return self._mul_fallback(a, b)
+            self._ensure_tables()
             log = self._log
         return self._exp[log[a] + log[b]]  # type: ignore[index]
 
     def _mul_fallback(self, a: int, b: int) -> int:
-        """Polynomial multiplication path: the fallback for large degrees and
-        the correctness oracle the table path is tested against."""
+        """Bit-serial polynomial multiplication: the correctness oracle.
+
+        This is the pre-windowing implementation, retained verbatim so the
+        big-field kernels (:meth:`_mul_big`, :meth:`square`, :meth:`inv`) have
+        a fixed reference to be property-tested and benchmarked against.  Hot
+        paths never call it for degree > 16 anymore — they use
+        :meth:`_mul_big`.
+        """
         if a == 0 or b == 0:
             return 0
         if a == 1:
@@ -241,14 +278,74 @@ class GF2m:
             return a
         return poly_mod(poly_mul(a, b), self.modulus)
 
+    # ------------------------------------------------------- big-field kernels
+
+    def _reduction(self) -> ReductionTable | bool:
+        """The cached chunked-reduction table (``False``: modulus too dense)."""
+        redtab = self._redtab
+        if redtab is None:
+            built = reduction_table(self.modulus)
+            redtab = self._redtab = built if built is not None else False
+        return redtab
+
+    def _reduce(self, value: int) -> int:
+        """Reduce a raw carry-less product modulo the field modulus."""
+        redtab = self._redtab
+        if redtab is None:
+            redtab = self._reduction()
+        if redtab is False:
+            return poly_mod(value, self.modulus)
+        return poly_reduce(value, redtab)  # type: ignore[arg-type]
+
+    def _window_table_for(self, a: int) -> List[int]:
+        """The 8-bit window table of ``a``, through the per-field cache.
+
+        The cache is keyed on the multiplicand value; the equality-check
+        encoding multiplies each symbol of a node's value against many coding
+        matrices, so the handful of live symbols stay warm while the table
+        build amortises away.  The cache is dropped wholesale when it reaches
+        its (degree-scaled) size bound.
+        """
+        cache = self._wtab
+        table = cache.get(a)
+        if table is None:
+            if len(cache) >= self._wtab_limit:
+                cache.clear()
+            table = cache[a] = window_table(a)
+        return table
+
+    def _mul_big(self, a: int, b: int) -> int:
+        """Windowed multiplication + chunked reduction (degree > 16 kernel).
+
+        Scans one operand byte-by-byte against the cached window table of the
+        other; prefers whichever operand already has a table cached.
+        """
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        table = self._wtab.get(a)
+        if table is None and b in self._wtab:
+            a, b = b, a
+            table = self._wtab[a]
+        if table is None:
+            table = self._window_table_for(a)
+        product = 0
+        for byte in b.to_bytes((b.bit_length() + 7) // 8, "big"):
+            product = (product << 8) ^ table[byte]
+        return self._reduce(product)
+
     def square(self, a: int) -> int:
-        """Field squaring (a table lookup when tables are available)."""
+        """Field squaring (table lookup, or linear-time bit spreading)."""
         if a == 0:
             return 0
+        if self._big:
+            return self._reduce(poly_square(a))
         log = self._log
         if log is None:
-            if not self._ensure_tables():
-                return self._mul_fallback(a, a)
+            self._ensure_tables()
             log = self._log
         return self._exp[2 * log[a]]  # type: ignore[index]
 
@@ -273,8 +370,8 @@ class GF2m:
         result = 1
         while exponent:
             if exponent & 1:
-                result = self.mul(result, base)
-            base = self.mul(base, base)
+                result = self._mul_big(result, base)
+            base = self._reduce(poly_square(base))
             exponent >>= 1
         return result
 
@@ -288,7 +385,32 @@ class GF2m:
             raise FieldError("zero has no multiplicative inverse")
         if self._inv_t is not None or self._ensure_tables():
             return self._inv_t[a]  # type: ignore[index]
-        return self._inv_fallback(a)
+        return self._inv_big(a)
+
+    def _inv_big(self, a: int) -> int:
+        """Extended Euclid with inlined single-shift division steps.
+
+        Same algorithm as :meth:`_inv_fallback` but each quotient is applied
+        one aligned shift at a time, avoiding the per-quotient ``poly_divmod``
+        / ``poly_mul`` calls (whose bit-serial inner loops dominate at large
+        degrees).  The fallback remains the correctness oracle.
+        """
+        r_prev, r_curr = self.modulus, a
+        s_prev, s_curr = 0, 1
+        deg_prev, deg_curr = self.degree, a.bit_length() - 1
+        while r_curr:
+            shift = deg_prev - deg_curr
+            if shift < 0:
+                r_prev, r_curr = r_curr, r_prev
+                s_prev, s_curr = s_curr, s_prev
+                deg_prev, deg_curr = deg_curr, deg_prev
+                continue
+            r_prev ^= r_curr << shift
+            s_prev ^= s_curr << shift
+            deg_prev = r_prev.bit_length() - 1
+        # r_curr reached zero, so r_prev holds gcd == 1 and s_prev the inverse
+        # of ``a`` up to one final reduction.
+        return self._reduce(s_prev)
 
     def _inv_fallback(self, a: int) -> int:
         """Extended Euclidean inverse: the fallback and correctness oracle.
@@ -334,7 +456,7 @@ class GF2m:
                 if a and b:
                     accumulator ^= exp[log[a] + log[b]]
         else:
-            mul = self._mul_fallback
+            mul = self._mul_big
             for a, b in zip(left, right):
                 if a and b:
                     accumulator ^= mul(a, b)

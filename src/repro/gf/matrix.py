@@ -17,8 +17,8 @@ Performance notes:
     Results produced by internal operations are wrapped with the trusted
     constructor :meth:`GFMatrix._trusted`, which skips the per-entry
     re-validation the public constructor performs on external data.  Fields
-    too large for tables (degree > 16) transparently use the polynomial
-    arithmetic instead; both paths compute identical field values.
+    too large for tables (degree > 16) transparently use the windowed
+    big-field kernels instead; both paths compute identical field values.
 """
 
 from __future__ import annotations
@@ -175,7 +175,7 @@ class GFMatrix:
                 for row in self._data
             ]
         else:
-            mul = self.field._mul_fallback
+            mul = self.field._mul_big
             data = [[mul(scalar, entry) for entry in row] for row in self._data]
         return GFMatrix._trusted(self.field, data)
 
@@ -203,7 +203,7 @@ class GFMatrix:
                     product_row.append(accumulator)
                 product.append(product_row)
         else:
-            mul = self.field._mul_fallback
+            mul = self.field._mul_big
             for row in self._data:
                 product_row = []
                 for col in columns:
@@ -245,7 +245,7 @@ class GFMatrix:
                         if entry:
                             result[index] ^= exp[log_value + log[entry]]
         else:
-            mul = self.field._mul_fallback
+            mul = self.field._mul_big
             for value, row in zip(vector, self._data):
                 if value:
                     for index, entry in enumerate(row):

@@ -18,7 +18,7 @@ back to a deterministic search.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Tuple
 
 from repro.exceptions import FieldError
 
@@ -76,6 +76,23 @@ _LOW_WEIGHT_EXPONENTS: Dict[int, List[int]] = {
     256: [10, 5, 2],
     512: [8, 5, 2],
     1024: [19, 6, 1],
+    # Degrees used by the multi-KB payload grids (the equality-check field is
+    # GF(2^ceil(L / rho)); see the `large_payloads` spec).  Found with the
+    # deterministic search below and verified by Rabin's test; entries of
+    # degree > 4096 are spot-checked in the default test run and fully
+    # re-verified under REPRO_SLOW_TESTS=1 (tests/test_gf_tables.py).
+    1093: [7, 6, 1],
+    2048: [19, 14, 13],
+    2185: [51],
+    2731: [15, 11, 2],
+    4096: [27, 15, 1],
+    4370: [26, 15, 11],
+    5462: [15, 11, 1],
+    8192: [9, 5, 2],
+    8739: [28, 20, 2],
+    10923: [38, 17, 10],
+    16384: [43, 13, 6],
+    21846: [1],
 }
 
 
@@ -85,7 +102,11 @@ def poly_degree(poly: int) -> int:
 
 
 def poly_mul(a: int, b: int) -> int:
-    """Carry-less (XOR) multiplication of two GF(2) polynomials."""
+    """Carry-less (XOR) multiplication of two GF(2) polynomials.
+
+    Bit-serial; retained as the correctness oracle for
+    :func:`poly_mul_windowed` and the table-driven field kernels.
+    """
     result = 0
     while b:
         if b & 1:
@@ -93,6 +114,140 @@ def poly_mul(a: int, b: int) -> int:
         a <<= 1
         b >>= 1
     return result
+
+
+def window_table(a: int) -> List[int]:
+    """The 8-bit window table of ``a``: ``table[w] == poly_mul(a, w)``.
+
+    Built from a 4-bit table in two strides so construction costs ~270 small
+    XOR/shift operations instead of 256 incremental doublings.  The table is
+    what :func:`poly_mul_windowed` scans one byte at a time;
+    :class:`repro.gf.field.GF2m` additionally caches tables per multiplicand
+    so repeated products against one value (the row-times-matrix pattern of
+    the equality check) skip the build entirely.
+    """
+    low = [0] * 16
+    low[1] = a
+    for index in range(2, 16):
+        low[index] = (low[index >> 1] << 1) ^ low[index & 1]
+    high = [entry << 4 for entry in low]
+    return [h ^ l for h in high for l in low]
+
+
+def poly_mul_windowed(a: int, b: int) -> int:
+    """Windowed carry-less multiplication: one shift/XOR per 8-bit window.
+
+    Precomputes the window table of shifted multiples of the longer operand
+    (4-bit windows combined pairwise for short operands, a full 8-bit table
+    when the scan is long enough to amortise the build) and folds the other
+    operand into the product byte by byte.  Identical results to
+    :func:`poly_mul`, several times faster for operands beyond a few dozen
+    bits, which is what makes ``GF(2^m)`` arithmetic for multi-KB payload
+    symbols (degrees in the thousands) affordable.
+    """
+    if not a or not b:
+        return 0
+    if a.bit_length() < b.bit_length():
+        a, b = b, a
+    raw = b.to_bytes((b.bit_length() + 7) // 8, "big")
+    result = 0
+    if len(raw) >= 48:
+        table = window_table(a)
+        for byte in raw:
+            result = (result << 8) ^ table[byte]
+    else:
+        low = [0] * 16
+        low[1] = a
+        for index in range(2, 16):
+            low[index] = (low[index >> 1] << 1) ^ low[index & 1]
+        for byte in raw:
+            result = (result << 8) ^ (low[byte >> 4] << 4) ^ low[byte & 15]
+    return result
+
+
+def _build_square_bytes() -> List[bytes]:
+    """Little-endian 16-bit bit-spreads of every byte (squaring over GF(2))."""
+    table: List[bytes] = []
+    for byte in range(256):
+        spread = 0
+        for bit in range(8):
+            if byte & (1 << bit):
+                spread |= 1 << (2 * bit)
+        table.append(spread.to_bytes(2, "little"))
+    return table
+
+
+#: byte -> 2-byte spread used by :func:`poly_square` (squaring interleaves
+#: each bit with a zero, so it is a per-byte table lookup, not a multiply).
+_SQUARE_BYTES: List[bytes] = _build_square_bytes()
+
+
+def poly_square(a: int) -> int:
+    """Squaring over GF(2): spread every bit of ``a`` apart with zeros.
+
+    Equivalent to ``poly_mul(a, a)`` but linear-time: the square of a GF(2)
+    polynomial has no cross terms, so it is a pure bit interleave done here
+    one byte at a time through a precomputed spread table.
+    """
+    if not a:
+        return 0
+    raw = a.to_bytes((a.bit_length() + 7) // 8, "little")
+    return int.from_bytes(b"".join(map(_SQUARE_BYTES.__getitem__, raw)), "little")
+
+
+#: (degree, mask, fold shift amounts): see :func:`reduction_table`.
+ReductionTable = Tuple[int, int, Tuple[int, ...]]
+
+#: Reduction tables are only built for moduli whose non-leading part is this
+#: sparse; denser moduli fall back to Euclidean division.
+_REDUCTION_MAX_WEIGHT = 12
+
+
+def reduction_table(modulus: int) -> ReductionTable | None:
+    """Precomputed chunked-reduction table for a fixed low-weight modulus.
+
+    For ``modulus = x^m + g`` the identity ``x^m == g  (mod modulus)`` lets a
+    product ``P`` be reduced by folding its overflow ``H = P >> m`` back in as
+    ``(P mod x^m) xor H * g``; when ``g`` is sparse, ``H * g`` is just a few
+    shifted copies of ``H``.  The returned table is ``(m, 2^m - 1, exponents
+    of g)``.  Returns ``None`` when the modulus is too dense or its ``g``
+    part too high-degree for the fold to converge quickly (callers then use
+    :func:`poly_mod`).  All tabulated and searched irreducible polynomials in
+    this module are trinomials/pentanomials, so the fast path is the norm.
+    """
+    degree = poly_degree(modulus)
+    if degree < 1:
+        return None
+    tail = modulus ^ (1 << degree)
+    if tail == 0 or tail.bit_count() > _REDUCTION_MAX_WEIGHT:
+        return None
+    if poly_degree(tail) > degree // 2:
+        # Each fold must strip at least half the overflow, so reduction of a
+        # full product (degree <= 2m - 2) finishes in <= 3 folds.
+        return None
+    exponents = []
+    while tail:
+        lowest = tail & -tail
+        exponents.append(lowest.bit_length() - 1)
+        tail ^= lowest
+    return degree, (1 << degree) - 1, tuple(exponents)
+
+
+def poly_reduce(value: int, table: ReductionTable) -> int:
+    """Reduce ``value`` modulo the fixed modulus described by ``table``.
+
+    Chunked reduction: repeatedly fold the overflow above ``x^m`` back into
+    the low part through the precomputed shift amounts.  Identical to
+    ``poly_mod(value, modulus)``; tested against it property-style.
+    """
+    degree, mask, exponents = table
+    high = value >> degree
+    while high:
+        value &= mask
+        for exponent in exponents:
+            value ^= high << exponent
+        high = value >> degree
+    return value
 
 
 def poly_divmod(a: int, b: int) -> tuple[int, int]:
@@ -130,8 +285,17 @@ def poly_gcd(a: int, b: int) -> int:
 
 
 def poly_mulmod(a: int, b: int, modulus: int) -> int:
-    """Return ``a * b mod modulus`` over GF(2)."""
-    return poly_mod(poly_mul(a, b), modulus)
+    """Return ``a * b mod modulus`` over GF(2).
+
+    Uses the windowed multiply (squaring shortcut when ``a == b``) plus
+    chunked reduction when the modulus is sparse enough, falling back to the
+    bit-serial multiply-and-divide otherwise.
+    """
+    table = reduction_table(modulus)
+    if table is None:
+        return poly_mod(poly_mul(a, b), modulus)
+    product = poly_square(a) if a == b else poly_mul_windowed(a, b)
+    return poly_reduce(product, table)
 
 
 def poly_powmod(base: int, exponent: int, modulus: int) -> int:
@@ -159,32 +323,74 @@ def _prime_factors(n: int) -> Iterable[int]:
         yield n
 
 
+def _sqrmod(value: int, modulus: int, table: ReductionTable | None) -> int:
+    """One modular squaring step, through the fast path when available."""
+    if table is not None:
+        return poly_reduce(poly_square(value), table)
+    return poly_mod(poly_square(value), modulus)
+
+
 def is_irreducible(poly: int) -> bool:
     """Return ``True`` iff ``poly`` is irreducible over GF(2).
 
     Uses Rabin's irreducibility test.  Polynomials of degree 0 (constants) are
-    not considered irreducible; degree-1 polynomials always are.
+    not considered irreducible; degree-1 polynomials always are.  The repeated
+    squarings ``x -> x^2 -> x^4 -> ...`` run through :func:`poly_square` and
+    the chunked reduction, which keeps the test usable for the multi-thousand
+    bit degrees the large-payload equality check works in.
     """
     m = poly_degree(poly)
     if m <= 0:
         return False
     if m == 1:
         return True
+    table = reduction_table(poly)
     # x^(2^m) mod poly must equal x.
     x = 0b10
     power = x
     for _ in range(m):
-        power = poly_mulmod(power, power, poly)
+        power = _sqrmod(power, poly, table)
     if power != x:
         return False
     # gcd(x^(2^(m/p)) - x, poly) must be 1 for every prime p | m.
     for p in _prime_factors(m):
         power = x
         for _ in range(m // p):
-            power = poly_mulmod(power, power, poly)
+            power = _sqrmod(power, poly, table)
         if poly_gcd(power ^ x, poly) != 1:
             return False
     return True
+
+
+def _has_small_degree_factor(poly: int, depth: int = 14) -> bool:
+    """Whether ``poly`` provably has an irreducible factor of degree ``<= depth``.
+
+    ``x^(2^k) - x`` is the product of all irreducibles whose degree divides
+    ``k``; accumulating ``prod_k (x^(2^k) - x) mod poly`` for ``k`` in the
+    upper half of ``1..depth`` covers every degree up to ``depth`` (each small
+    ``d`` divides some ``k`` in that range) with a single gcd at the end.
+    Used as a cheap pre-filter by the irreducible search: a full Rabin test
+    costs ``deg(poly)`` squarings even on a reducible candidate, while ~96% of
+    random candidates are rejected here after ``depth`` squarings.
+    """
+    m = poly_degree(poly)
+    if m <= depth:
+        return False
+    table = reduction_table(poly)
+    x = 0b10
+    power = x
+    product = 1
+    for k in range(1, depth + 1):
+        power = _sqrmod(power, poly, table)
+        if 2 * k > depth:
+            term = power ^ x
+            if table is not None:
+                product = poly_reduce(poly_mul_windowed(product, term), table)
+            else:
+                product = poly_mod(poly_mul_windowed(product, term), poly)
+    if product == 0:
+        return True
+    return poly_gcd(product, poly) != 1
 
 
 def _poly_from_exponents(degree: int, exponents: List[int]) -> int:
@@ -233,17 +439,23 @@ def _search_irreducible(degree: int) -> int:
     ``x^degree + x^a + x^b + x^c + 1`` in lexicographic order.  Every binary
     field of degree ``>= 2`` admits either a trinomial or pentanomial basis in
     all practically relevant cases; as a final fallback the search widens to
-    arbitrary odd-weight polynomials.
+    arbitrary odd-weight polynomials.  Candidates are screened with the
+    small-degree-factor pre-filter before paying for a full Rabin test, which
+    makes the search tractable even for degrees in the tens of thousands.
     """
-    for k in range(1, degree):
-        poly = (1 << degree) | (1 << k) | 1
-        if is_irreducible(poly):
-            return poly
+    if degree % 8 != 0:
+        # Swan's theorem: a trinomial whose degree is divisible by 8 has an
+        # even number of irreducible factors, hence is never irreducible —
+        # skip the whole trinomial scan for those degrees.
+        for k in range(1, degree):
+            poly = (1 << degree) | (1 << k) | 1
+            if not _has_small_degree_factor(poly) and is_irreducible(poly):
+                return poly
     for a in range(3, degree):
         for b in range(2, a):
             for c in range(1, b):
                 poly = (1 << degree) | (1 << a) | (1 << b) | (1 << c) | 1
-                if is_irreducible(poly):
+                if not _has_small_degree_factor(poly) and is_irreducible(poly):
                     return poly
     # Extremely unlikely fallback: scan all polynomials with constant term 1.
     candidate = (1 << degree) | 1

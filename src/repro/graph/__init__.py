@@ -32,7 +32,11 @@ from repro.graph.flow_cache import (
 from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
 from repro.graph.mincut import broadcast_mincut, min_pairwise_undirected_mincut, st_mincut
 from repro.graph.network_graph import NetworkGraph
-from repro.graph.spanning_trees import pack_arborescences
+from repro.graph.spanning_trees import (
+    clear_pack_cache,
+    pack_arborescences,
+    pack_cache_stats,
+)
 from repro.graph.undirected import UndirectedView
 
 __all__ = [
@@ -52,4 +56,6 @@ __all__ = [
     "vertex_connectivity",
     "vertex_disjoint_paths",
     "pack_arborescences",
+    "clear_pack_cache",
+    "pack_cache_stats",
 ]

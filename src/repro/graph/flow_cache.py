@@ -88,6 +88,26 @@ class MinCutCache:
         self.hits = 0
         self.misses = 0
 
+    def stats(self) -> Dict[str, object]:
+        """Counters plus derived hit rates, the shape every cache's
+        ``*_cache_stats`` helper reports.
+
+        ``hits``/``misses`` count since the last :meth:`clear`; the
+        ``lifetime_*`` counters survive clears.  Hit rates are floats,
+        ``None`` before any lookup.
+        """
+        lookups = self.hits + self.misses
+        lifetime = self.lifetime_hits + self.lifetime_misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / lookups) if lookups else None,
+            "lifetime_hits": self.lifetime_hits,
+            "lifetime_misses": self.lifetime_misses,
+            "lifetime_hit_rate": (self.lifetime_hits / lifetime) if lifetime else None,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -125,14 +145,7 @@ def cache_stats() -> Dict[str, object]:
     topologies — the lifetime counters still measure the whole sweep).  Hit
     rates are floats, ``None`` before any lookup.
     """
-    stats: Dict[str, object] = dict(mincut_cache_stats())
-    lookups = _CACHE.hits + _CACHE.misses
-    stats["hit_rate"] = (_CACHE.hits / lookups) if lookups else None
-    lifetime = _CACHE.lifetime_hits + _CACHE.lifetime_misses
-    stats["lifetime_hits"] = _CACHE.lifetime_hits
-    stats["lifetime_misses"] = _CACHE.lifetime_misses
-    stats["lifetime_hit_rate"] = (_CACHE.lifetime_hits / lifetime) if lifetime else None
-    return stats
+    return _CACHE.stats()
 
 
 def cached_st_mincut(

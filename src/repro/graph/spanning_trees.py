@@ -15,6 +15,17 @@ unspanned ``v``) if removing one unit of its capacity keeps
 ``remaining`` is the number of arborescences still to be packed afterwards.
 Lovász's lemma guarantees that such an edge always exists, so the peeling
 never gets stuck as long as the initial min-cut condition holds.
+
+Performance notes:
+    The peeling is expensive (hundreds of max-flow feasibility probes), yet a
+    NAB run re-packs the *same* instance graph for every instance until the
+    dispute state changes it.  Packings are therefore memoised process-wide in
+    an LRU keyed on ``(graph_signature, root, count)`` — the same canonical-
+    signature contract as :mod:`repro.graph.flow_cache` — and the feasibility
+    probes themselves run through the min-cut cache, so even a cold packing
+    shares solves with every other analysis of the same graph.
+    :func:`clear_pack_cache` resets the packing cache (the engine runner calls
+    it between topologies) and :func:`pack_cache_stats` exposes its counters.
 """
 
 from __future__ import annotations
@@ -22,7 +33,11 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.exceptions import GraphError, InfeasibleError
-from repro.graph.maxflow import max_flow_value
+from repro.graph.flow_cache import (
+    MinCutCache,
+    cached_all_target_mincuts,
+    graph_signature,
+)
 from repro.graph.mincut import broadcast_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.types import Edge, NodeId
@@ -95,12 +110,19 @@ def _satisfies_mincut(
     root: NodeId,
     threshold: int,
 ) -> bool:
-    """Whether ``MINCUT(root, w) >= threshold`` for every other vertex ``w``."""
+    """Whether ``MINCUT(root, w) >= threshold`` for every other vertex ``w``.
+
+    Routed through the process-wide min-cut cache: peeling repeatedly probes
+    the same residual capacity states (every rejected candidate edge is
+    restored, and successive packings of one instance graph replay the same
+    sequence), so structurally identical probes become dictionary lookups.
+    """
     if threshold <= 0:
         return True
     graph = _graph_from_capacities(nodes, capacities)
+    cuts = cached_all_target_mincuts(graph, root)
     return all(
-        max_flow_value(graph, root, node) >= threshold
+        cuts[node] >= threshold
         for node in nodes
         if node != root
     )
@@ -138,6 +160,27 @@ def _peel_one_arborescence(
     return Arborescence(root, parents)
 
 
+#: Process-wide memo of arborescence packings.  Values are tuples of
+#: child -> parent maps (never handed out directly: every lookup constructs
+#: fresh :class:`Arborescence` objects, which copy the maps, so cached
+#: packings cannot be mutated through a returned tree).
+_PACK_CACHE = MinCutCache(max_entries=256)
+
+
+def pack_cache_stats() -> Dict[str, object]:
+    """Hit/miss counters of the packing cache (``MinCutCache.stats`` shape).
+
+    The ``lifetime_*`` counters survive :func:`clear_pack_cache`, so a sweep
+    that clears between topologies can still report whole-run efficacy.
+    """
+    return _PACK_CACHE.stats()
+
+
+def clear_pack_cache() -> None:
+    """Reset the process-wide arborescence-packing cache."""
+    _PACK_CACHE.clear()
+
+
 def pack_arborescences(
     graph: NetworkGraph, root: NodeId, count: int | None = None
 ) -> List[Arborescence]:
@@ -153,7 +196,9 @@ def pack_arborescences(
     Returns:
         A list of :class:`Arborescence` objects.  The combined per-edge usage
         (each arborescence uses one capacity unit of each of its edges) never
-        exceeds the edge capacities.
+        exceeds the edge capacities.  Results are memoised on
+        ``(graph_signature(graph), root, count)``; the peeling is deterministic,
+        so a cached packing is identical to a freshly computed one.
 
     Raises:
         InfeasibleError: if ``count`` exceeds the broadcast min-cut.
@@ -173,13 +218,20 @@ def pack_arborescences(
         raise InfeasibleError(
             f"requested {count} arborescences but the broadcast min-cut is only {gamma}"
         )
-    nodes = graph.nodes()
-    capacities = _residual_copy(graph)
-    trees: List[Arborescence] = []
-    for index in range(count):
-        remaining_after = count - index - 1
-        trees.append(_peel_one_arborescence(nodes, capacities, root, remaining_after))
-    return trees
+    key = ("pack", graph_signature(graph), root, count)
+    cached = _PACK_CACHE.lookup(key)
+    if cached is None:
+        nodes = graph.nodes()
+        capacities = _residual_copy(graph)
+        parent_maps: List[Dict[NodeId, NodeId]] = []
+        for index in range(count):
+            remaining_after = count - index - 1
+            parent_maps.append(
+                _peel_one_arborescence(nodes, capacities, root, remaining_after).parents
+            )
+        cached = tuple(parent_maps)
+        _PACK_CACHE.store(key, cached)
+    return [Arborescence(root, parents) for parents in cached]
 
 
 def packing_edge_usage(trees: Sequence[Arborescence]) -> Dict[Edge, int]:

@@ -33,6 +33,14 @@ immediately and ``messages_received_by`` sees it): node computation is
 instantaneous in the paper's model, so the event clock tracks only *wire*
 time.  The scheduler adds the measured timeline — when each message actually
 arrives — without perturbing protocol semantics.
+
+Batched vectors (``send_vector``) are one FIFO item: a vector of ``k``
+symbols of ``b`` bits drains ``k * b / capacity`` on its link, exactly the
+total its per-symbol sends would have drained back to back, so the
+zero-latency equality with the accountant and the per-phase completion time
+under uniform/per-link latency are unchanged by batching.  Only *jitter* can
+observe the difference (its key is the per-message ordinal, and a batch is
+one message).
 """
 
 from __future__ import annotations

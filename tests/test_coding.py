@@ -134,6 +134,28 @@ class TestCodingScheme:
         with pytest.raises(ProtocolError):
             encode_value(scheme, [1], (1, 2))
 
+    def test_encode_value_accepts_any_sequence(self):
+        # The signature is Sequence[int]: list, tuple, range and custom
+        # sequence types must all encode identically.
+        class SymbolSequence:
+            def __init__(self, items):
+                self._items = list(items)
+
+            def __len__(self):
+                return len(self._items)
+
+            def __getitem__(self, index):
+                return self._items[index]
+
+        graph = figure1a()
+        scheme = generate_coding_scheme(graph, 2, 8, seed=1)
+        expected = encode_value(scheme, [3, 5], (1, 2))
+        assert encode_value(scheme, (3, 5), (1, 2)) == expected
+        assert encode_value(scheme, SymbolSequence([3, 5]), (1, 2)) == expected
+        assert encode_value(scheme, range(3, 5), (1, 2)) == [
+            coded for coded in encode_value(scheme, [3, 4], (1, 2))
+        ]
+
     def test_edges_listing(self):
         graph = figure1a()
         scheme = generate_coding_scheme(graph, 2, 8)

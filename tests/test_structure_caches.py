@@ -1,0 +1,162 @@
+"""Tests for the PR 4 process-wide structure caches.
+
+Two caches ride on the canonical graph-signature contract of
+``repro.graph.flow_cache``:
+
+* arborescence packings (``repro.graph.spanning_trees``) keyed on
+  ``(graph_signature, root, count)``;
+* vertex-disjoint relay paths (``repro.classical.relay``) keyed on
+  ``(graph_signature, sender, receiver, path_count)``.
+
+The tests pin down: re-lookups return graph-signature-correct (identical)
+results without recomputing, structurally different graphs never share
+entries, returned objects are fresh (mutating them cannot poison the cache),
+and the ``clear_*`` hooks invalidate — including through the engine runner's
+per-topology hygiene.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classical.relay import (
+    DisjointPathRelay,
+    clear_relay_path_cache,
+    relay_path_cache_stats,
+)
+from repro.engine import runner as engine_runner
+from repro.graph.generators import complete_graph, figure2a
+from repro.graph.spanning_trees import (
+    clear_pack_cache,
+    pack_arborescences,
+    pack_cache_stats,
+    validate_packing,
+)
+from repro.transport.faults import FaultModel
+from repro.transport.network import SynchronousNetwork
+from repro.workloads.topologies import topology
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_pack_cache()
+    clear_relay_path_cache()
+    yield
+    clear_pack_cache()
+    clear_relay_path_cache()
+
+
+def _packing_shape(trees):
+    return [sorted(tree.parents.items()) for tree in trees]
+
+
+class TestPackCache:
+    def test_relookup_returns_identical_packing(self):
+        graph = figure2a()
+        first = pack_arborescences(graph, 1)
+        stats = pack_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = pack_arborescences(graph, 1)
+        stats = pack_cache_stats()
+        assert stats["hits"] == 1
+        assert _packing_shape(first) == _packing_shape(second)
+        validate_packing(graph, 1, second)
+
+    def test_structurally_equal_graph_hits_without_identity(self):
+        first = pack_arborescences(figure2a(), 1)
+        second = pack_arborescences(figure2a(), 1)  # a *fresh* graph object
+        assert pack_cache_stats()["hits"] == 1
+        assert _packing_shape(first) == _packing_shape(second)
+
+    def test_different_roots_and_graphs_do_not_share_entries(self):
+        graph = complete_graph(4, capacity=2)
+        pack_arborescences(graph, 1)
+        pack_arborescences(graph, 2)
+        pack_arborescences(complete_graph(5, capacity=2), 1)
+        stats = pack_cache_stats()
+        assert stats["misses"] == 3 and stats["hits"] == 0
+
+    def test_cached_trees_are_fresh_objects(self):
+        graph = figure2a()
+        first = pack_arborescences(graph, 1)
+        first[0].parents.clear()  # vandalise the returned tree
+        second = pack_arborescences(graph, 1)
+        validate_packing(graph, 1, second)  # cache must be unaffected
+
+    def test_clear_invalidates(self):
+        graph = figure2a()
+        pack_arborescences(graph, 1)
+        clear_pack_cache()
+        assert pack_cache_stats()["entries"] == 0
+        pack_arborescences(graph, 1)
+        stats = pack_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+
+
+class TestRelayPathCache:
+    def _relay(self, graph=None):
+        graph = graph if graph is not None else topology("k7-unit")
+        network = SynchronousNetwork(graph, FaultModel())
+        return DisjointPathRelay(network, max_faults=1)
+
+    def test_shared_cache_across_relay_objects(self):
+        first = self._relay()
+        second = self._relay()  # fresh relay over a structurally equal graph
+        paths_a = first.paths_between(2, 5)
+        assert relay_path_cache_stats()["misses"] == 1
+        paths_b = second.paths_between(2, 5)
+        stats = relay_path_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert paths_a == paths_b
+
+    def test_returned_paths_are_fresh_copies(self):
+        relay = self._relay()
+        relay.paths_between(2, 5)[0].append("vandalised")
+        other = self._relay()
+        for path in other.paths_between(2, 5):
+            assert "vandalised" not in path
+
+    def test_per_object_cache_skips_shared_lookup(self):
+        relay = self._relay()
+        relay.paths_between(2, 5)
+        lookups = relay_path_cache_stats()
+        relay.paths_between(2, 5)  # served from the relay's own dict
+        assert relay_path_cache_stats() == lookups
+
+    def test_distinct_pairs_and_path_counts_are_distinct_entries(self):
+        graph = topology("k7-unit")
+        network = SynchronousNetwork(graph, FaultModel())
+        DisjointPathRelay(network, max_faults=1).paths_between(2, 5)
+        DisjointPathRelay(network, max_faults=1).paths_between(5, 2)
+        DisjointPathRelay(network, max_faults=2).paths_between(2, 5)
+        stats = relay_path_cache_stats()
+        assert stats["misses"] == 3 and stats["entries"] == 3
+
+    def test_clear_invalidates(self):
+        relay = self._relay()
+        relay.paths_between(2, 5)
+        clear_relay_path_cache()
+        assert relay_path_cache_stats()["entries"] == 0
+        self._relay().paths_between(2, 5)
+        assert relay_path_cache_stats()["misses"] == 1
+
+
+class TestRunnerCacheHygiene:
+    def test_topology_switch_clears_structure_caches(self, monkeypatch):
+        pack_arborescences(figure2a(), 1)
+        self_relay = DisjointPathRelay(
+            SynchronousNetwork(topology("k7-unit"), FaultModel()), max_faults=1
+        )
+        self_relay.paths_between(2, 5)
+        assert pack_cache_stats()["entries"] == 1
+        assert relay_path_cache_stats()["entries"] == 1
+
+        monkeypatch.setattr(engine_runner, "_LAST_TOPOLOGY", None)
+        monkeypatch.setattr(engine_runner, "run_cell", lambda cell: {"cell_id": "x"})
+
+        class _Cell:
+            topology = "k4-fast"
+
+        engine_runner._execute_cell(_Cell())
+        assert pack_cache_stats()["entries"] == 0
+        assert relay_path_cache_stats()["entries"] == 0
