@@ -27,9 +27,11 @@ import random
 from contextlib import contextmanager
 
 from _harness import fast_mode, scaled, suite_result, time_callable, write_results
-from repro.classical.relay import clear_relay_path_cache
+from repro.classical.broadcast_default import BroadcastDefault
+from repro.classical.relay import DisjointPathRelay, clear_relay_path_cache
 from repro.core.nab import NetworkAwareBroadcast
 from repro.gf.field import GF2m, get_field
+from repro.gf.matrix import GFMatrix
 from repro.graph.flow_cache import clear_mincut_cache
 from repro.graph.spanning_trees import clear_pack_cache
 from repro.workloads.topologies import topology
@@ -48,25 +50,69 @@ MIN_E2E_SPEEDUP = scaled(5.0, 1.5)
 
 @contextmanager
 def _legacy_big_field_kernels():
-    """Force degree>16 arithmetic onto the retained bit-serial oracles."""
+    """Force the GF data plane onto the retained per-symbol bit-serial oracles.
+
+    Reconstructs the pre-overhaul path end to end: degree>16 scalar
+    arithmetic runs the bit-serial fallbacks, the matrix kernels run the
+    frozen per-symbol loops (``vecmat_loop`` / ``matmul_loop`` — the stacked
+    kernels of PR 5 bypass ``_mul_big``, so patching the scalar kernel alone
+    would leave the fast encode in place), the step 2.2 flag agreement runs
+    one classical broadcast per origin instead of the origin-batched shared
+    rounds, and the clean-path relay batching is disabled
+    (``paths_are_clean`` forced to ``False``) so every relay pays the
+    per-label, per-copy message costs the true pre-PR path paid.
+    """
     fast_mul = GF2m._mul_big
     fast_inv = GF2m._inv_big
     fast_square = GF2m.square
+    fast_vecmat = GFMatrix.vecmat
+    fast_matmul = GFMatrix.matmul
+    fast_scale_vec = GF2m.scale_vec
+    fast_from_all = BroadcastDefault.broadcast_from_all
+    fast_paths_clean = DisjointPathRelay.paths_are_clean
 
     def legacy_square(self, a):
         if self._big:
             return self._mul_fallback(a, a)
         return fast_square(self, a)
 
+    def legacy_scale_vec(self, scalar, vector):
+        return self.scalar_mul(scalar, list(vector))
+
+    def legacy_broadcast_from_all(self, values, bit_size, phase, context="broadcast_default_all"):
+        outputs = {
+            node: {}
+            for node in self.participants
+            if not self.network.fault_model.is_faulty(node)
+        }
+        for origin in self.participants:
+            decided = self.broadcast(
+                origin, values.get(origin), bit_size, phase,
+                context=f"{context}|origin={origin}",
+            )
+            for receiver, received in decided.items():
+                outputs[receiver][origin] = received
+        return outputs
+
     GF2m._mul_big = GF2m._mul_fallback
     GF2m._inv_big = GF2m._inv_fallback
     GF2m.square = legacy_square
+    GF2m.scale_vec = legacy_scale_vec
+    GFMatrix.vecmat = GFMatrix.vecmat_loop
+    GFMatrix.matmul = GFMatrix.matmul_loop
+    BroadcastDefault.broadcast_from_all = legacy_broadcast_from_all
+    DisjointPathRelay.paths_are_clean = lambda self, sender, receiver: False
     try:
         yield
     finally:
         GF2m._mul_big = fast_mul
         GF2m._inv_big = fast_inv
         GF2m.square = fast_square
+        GF2m.scale_vec = fast_scale_vec
+        GFMatrix.vecmat = fast_vecmat
+        GFMatrix.matmul = fast_matmul
+        BroadcastDefault.broadcast_from_all = fast_from_all
+        DisjointPathRelay.paths_are_clean = fast_paths_clean
 
 
 def _mul_suite(degree: int):

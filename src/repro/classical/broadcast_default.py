@@ -93,15 +93,12 @@ class BroadcastDefault:
             ``outputs[receiver][origin]`` — the value fault-free ``receiver``
             decided for the broadcast originated by ``origin``.  By agreement,
             all fault-free receivers hold identical vectors.
+
+        All broadcasts share their relay rounds
+        (:meth:`EIGBroadcast.broadcast_all`): a fault-free relayer forwards
+        every origin's round labels to a receiver as one per-hop vector, so
+        the n-origin flag agreement of step 2.2 costs one message per
+        (relayer, receiver, hop) per round instead of one per origin —
+        identical decisions, hook invocations and per-link bit totals.
         """
-        outputs: Dict[NodeId, Dict[NodeId, Any]] = {
-            node: {} for node in self.participants if not self.network.fault_model.is_faulty(node)
-        }
-        for origin in self.participants:
-            value = values.get(origin)
-            decided = self.broadcast(
-                origin, value, bit_size, phase, context=f"{context}|origin={origin}"
-            )
-            for receiver, received in decided.items():
-                outputs[receiver][origin] = received
-        return outputs
+        return self._eig.broadcast_all(values, bit_size, phase, context=context)

@@ -102,7 +102,15 @@ class EIGBroadcast:
             )
             trees[receiver][root_label] = delivered
 
-        # Rounds 2 .. f+1: relay every label of the previous round.
+        # Rounds 2 .. f+1: relay every label of the previous round.  A
+        # fault-free relayer sends the *same* label values to each receiver,
+        # and over clean paths (no faulty intermediary) every hop is pure
+        # forwarding — so the whole round's labels for one (relayer,
+        # receiver) pair ride as a single per-hop vector
+        # (DisjointPathRelay.reliable_send_vector).  Per-link bit totals are
+        # identical to per-label sends, so the accountant's and scheduler's
+        # clocks are unchanged; faulty relayers or dirty paths keep the
+        # per-label sends so every Byzantine hook fires exactly as before.
         for round_index in range(2, self.max_faults + 2):
             previous_labels = [
                 label for label in trees[self.participants[0]] if len(label) == round_index - 1
@@ -114,17 +122,36 @@ class EIGBroadcast:
             }
             round_phase = f"{phase}/round{round_index}"
             for relayer in self.participants:
-                for label in previous_labels:
-                    if relayer in label:
-                        continue
-                    new_label = label + (relayer,)
-                    held_value = to_relay[relayer][label]
-                    for receiver in self.participants:
-                        if receiver == relayer:
+                labels_to_relay = [
+                    label for label in previous_labels if relayer not in label
+                ]
+                if not labels_to_relay:
+                    continue
+                new_labels = [label + (relayer,) for label in labels_to_relay]
+                held_values = [to_relay[relayer][label] for label in labels_to_relay]
+                relayer_faulty = fault_model.is_faulty(relayer)
+                for receiver in self.participants:
+                    if receiver == relayer:
+                        for new_label, held_value in zip(new_labels, held_values):
                             trees[relayer][new_label] = held_value
-                            continue
+                        continue
+                    if not relayer_faulty and self.relay.paths_are_clean(
+                        relayer, receiver
+                    ):
+                        delivered_vector = self.relay.reliable_send_vector(
+                            relayer,
+                            receiver,
+                            held_values,
+                            bit_size,
+                            round_phase,
+                            context,
+                        )
+                        for new_label, delivered in zip(new_labels, delivered_vector):
+                            trees[receiver][new_label] = delivered
+                        continue
+                    for new_label, held_value in zip(new_labels, held_values):
                         outgoing = held_value
-                        if fault_model.is_faulty(relayer):
+                        if relayer_faulty:
                             outgoing = strategy.broadcast_value(
                                 self.instance,
                                 relayer,
@@ -143,6 +170,135 @@ class EIGBroadcast:
             if fault_model.is_faulty(node):
                 continue
             outputs[node] = self._resolve(trees[node], root_label)
+        return outputs
+
+    def broadcast_all(
+        self,
+        values: Dict[NodeId, Any],
+        bit_size: int,
+        phase: str,
+        context: str = "eig",
+    ) -> Dict[NodeId, Dict[NodeId, Any]]:
+        """Run one broadcast per participant with *shared* relay rounds.
+
+        Every origin's EIG tree is rooted at a distinct label ``(origin,)``,
+        so the label spaces are disjoint and all ``n`` broadcasts can march
+        through the rounds together: in each relay round a fault-free
+        relayer holds one value per (origin, label) pair and sends the whole
+        batch to each receiver as a single per-hop vector over clean paths
+        (:meth:`DisjointPathRelay.reliable_send_vector`).  Per-call
+        behaviour is identical to ``{origin: broadcast(origin, ...)}`` — the
+        per-label fallback keeps every Byzantine hook's arguments (including
+        the ``...|origin=<o>|<label>`` context strings) exactly as the
+        origin-by-origin loop produced them, strategies are keyed-stateless,
+        and per-link bit totals are unchanged — only message ordinals (hence
+        jitter) can observe the batching.
+
+        Returns:
+            ``outputs[receiver][origin]`` — the value each fault-free
+            receiver decides for each origin's broadcast.
+        """
+        fault_model = self.network.fault_model
+        strategy = fault_model.strategy
+        trees: Dict[NodeId, Dict[Label, Any]] = {node: {} for node in self.participants}
+
+        # Round 1: every origin sends its own value (distinct senders, so
+        # there is nothing to batch across origins here).
+        round1_phase = f"{phase}/round1"
+        for origin in self.participants:
+            value = values.get(origin)
+            root_label: Label = (origin,)
+            origin_context = f"{context}|origin={origin}"
+            origin_faulty = fault_model.is_faulty(origin)
+            for receiver in self.participants:
+                if receiver == origin:
+                    trees[receiver][root_label] = value
+                    continue
+                outgoing = value
+                if origin_faulty:
+                    outgoing = strategy.broadcast_value(
+                        self.instance,
+                        origin,
+                        receiver,
+                        f"{origin_context}|{root_label}",
+                        value,
+                    )
+                delivered = self.relay.reliable_send(
+                    origin, receiver, outgoing, bit_size, round1_phase, origin_context
+                )
+                trees[receiver][root_label] = delivered
+
+        # Rounds 2 .. f+1, merged across origins.
+        for round_index in range(2, self.max_faults + 2):
+            previous_labels = [
+                label
+                for label in trees[self.participants[0]]
+                if len(label) == round_index - 1
+            ]
+            to_relay: Dict[NodeId, Dict[Label, Any]] = {
+                node: {
+                    label: trees[node].get(label, EIG_DEFAULT)
+                    for label in previous_labels
+                }
+                for node in self.participants
+            }
+            round_phase = f"{phase}/round{round_index}"
+            for relayer in self.participants:
+                labels_to_relay = [
+                    label for label in previous_labels if relayer not in label
+                ]
+                if not labels_to_relay:
+                    continue
+                new_labels = [label + (relayer,) for label in labels_to_relay]
+                held_values = [to_relay[relayer][label] for label in labels_to_relay]
+                relayer_faulty = fault_model.is_faulty(relayer)
+                for receiver in self.participants:
+                    if receiver == relayer:
+                        for new_label, held_value in zip(new_labels, held_values):
+                            trees[relayer][new_label] = held_value
+                        continue
+                    if not relayer_faulty and self.relay.paths_are_clean(
+                        relayer, receiver
+                    ):
+                        delivered_vector = self.relay.reliable_send_vector(
+                            relayer,
+                            receiver,
+                            held_values,
+                            bit_size,
+                            round_phase,
+                            context,
+                        )
+                        for new_label, delivered in zip(new_labels, delivered_vector):
+                            trees[receiver][new_label] = delivered
+                        continue
+                    for new_label, held_value in zip(new_labels, held_values):
+                        outgoing = held_value
+                        if relayer_faulty:
+                            outgoing = strategy.broadcast_value(
+                                self.instance,
+                                relayer,
+                                receiver,
+                                f"{context}|origin={new_label[0]}|{new_label}",
+                                held_value,
+                            )
+                        delivered = self.relay.reliable_send(
+                            relayer,
+                            receiver,
+                            outgoing,
+                            bit_size,
+                            round_phase,
+                            f"{context}|origin={new_label[0]}",
+                        )
+                        trees[receiver][new_label] = delivered
+
+        outputs: Dict[NodeId, Dict[NodeId, Any]] = {}
+        for node in self.participants:
+            if fault_model.is_faulty(node):
+                continue
+            outputs[node] = {
+                origin: self._resolve(trees[node], (origin,))
+                for origin in self.participants
+            }
         return outputs
 
     def _resolve(self, tree: Dict[Label, Any], label: Label) -> Any:

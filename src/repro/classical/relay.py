@@ -43,6 +43,11 @@ from repro.types import NodeId
 #: Payload delivered when a majority cannot be established.
 DEFAULT_VALUE = None
 
+#: Types for which equal values always have equal ``repr`` strings, so the
+#: all-identical fast path of :func:`majority_value` agrees with its keyed
+#: slow path.
+_CANONICAL_REPR_TYPES = frozenset((bool, int, bytes, str, type(None)))
+
 #: Process-wide memo of vertex-disjoint relay paths.  Values are stored as
 #: tuples of node tuples; lookups hand out fresh lists, so cached paths can
 #: never be mutated through a caller.
@@ -79,6 +84,7 @@ class DisjointPathRelay:
         self.instance = instance
         self.path_count = 2 * max_faults + 1
         self._path_cache: Dict[Tuple[NodeId, NodeId], List[List[NodeId]]] = {}
+        self._clean_pairs: Dict[Tuple[NodeId, NodeId], bool] = {}
         self._graph_signature: GraphSignature | None = None
 
     # ------------------------------------------------------------------ paths
@@ -123,7 +129,70 @@ class DisjointPathRelay:
             self._path_cache[key] = paths
         return paths
 
+    def paths_are_clean(self, sender: NodeId, receiver: NodeId) -> bool:
+        """Whether no *intermediate* node of any disjoint path is faulty.
+
+        Intermediate nodes (``path[1:-1]``) are the only hop senders whose
+        corruption hook can fire during a relay, so for a clean pair every
+        relayed value is pure store-and-forward — the precondition for
+        batching a round's values into one vector per hop
+        (:meth:`reliable_send_vector`).  Cached per ordered pair (the fault
+        model is fixed for the relay's lifetime).
+        """
+        key = (sender, receiver)
+        clean = self._clean_pairs.get(key)
+        if clean is None:
+            is_faulty = self.network.fault_model.is_faulty
+            clean = not any(
+                is_faulty(node)
+                for path in self.paths_between(sender, receiver)
+                for node in path[1:-1]
+            )
+            self._clean_pairs[key] = clean
+        return clean
+
     # ------------------------------------------------------------------- send
+
+    def reliable_send_vector(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        values: Sequence[Any],
+        bit_size: int,
+        phase: str,
+        context: str = "relay",
+    ) -> List[Any]:
+        """Relay a whole round's values for one ordered pair as per-hop vectors.
+
+        Only valid for a fault-free sender on clean paths
+        (:meth:`paths_are_clean`): every hop is then pure forwarding, so
+        delivering the tuple in one :meth:`SynchronousNetwork.send_vector`
+        message per hop charges each link exactly the bits the per-value
+        sends would (``len(values) * bit_size``) and the majority over
+        ``2f + 1`` identical path copies is the value itself.  Per-link bit
+        totals — hence the accountant's and the scheduled network's clocks —
+        are unchanged; only jitter ordinals can observe the batching.
+
+        Raises:
+            ProtocolError: if ``values`` is empty (nothing to relay).
+        """
+        if not values:
+            raise ProtocolError("reliable_send_vector requires at least one value")
+        values = list(values)
+        if sender == receiver:
+            return values
+        network = self.network
+        for path in self.paths_between(sender, receiver):
+            for hop_index in range(len(path) - 1):
+                network.send_vector(
+                    path[hop_index],
+                    path[hop_index + 1],
+                    values,
+                    bit_size,
+                    phase,
+                    kind=f"{context}:hop",
+                )
+        return values
 
     def reliable_send(
         self,
@@ -214,10 +283,20 @@ def majority_value(copies: Sequence[Any]) -> Any:
     """Strict majority of ``copies``; :data:`DEFAULT_VALUE` when there is none.
 
     Values are compared by equality after a canonical ``repr``-based key so
-    that unhashable payloads (lists, dicts) can participate.
+    that unhashable payloads (lists, dicts) can participate.  The common case
+    — every path delivered the same copy of a scalar payload, i.e. no faulty
+    intermediary — is resolved by direct same-type equality, which matches
+    the repr keying exactly for types whose repr is canonical (``1 == True``
+    but their reprs differ, so mixed types always take the keyed path).
     """
     if not copies:
         return DEFAULT_VALUE
+    first = copies[0]
+    first_type = type(first)
+    if first_type in _CANONICAL_REPR_TYPES and all(
+        type(copy) is first_type and copy == first for copy in copies[1:]
+    ):
+        return first
     keyed: Dict[str, Any] = {}
     counts: Counter = Counter()
     for copy in copies:

@@ -22,7 +22,12 @@ at least one fault-free node detects a mismatch (with probability approaching
   values pass all checks.
 """
 
-from repro.coding.coding_matrix import CodingScheme, generate_coding_scheme
+from repro.coding.coding_matrix import (
+    CodingScheme,
+    encode_on_edges,
+    encode_value,
+    generate_coding_scheme,
+)
 from repro.coding.equality_check import EqualityCheckOutcome, run_equality_check
 from repro.coding.omega import (
     compute_rho,
@@ -38,6 +43,8 @@ from repro.coding.verification import (
 __all__ = [
     "CodingScheme",
     "generate_coding_scheme",
+    "encode_value",
+    "encode_on_edges",
     "EqualityCheckOutcome",
     "run_equality_check",
     "dispute_free_subgraphs",

@@ -18,8 +18,8 @@ the algorithm).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.exceptions import ProtocolError
 from repro.gf.field import GF2m, get_field
@@ -38,6 +38,9 @@ class CodingScheme:
         symbol_bits: Bits per symbol (``L / rho``, rounded up).
         matrices: The per-edge coding matrices, each of shape ``rho x z_e``.
         seed: The seed the matrices were derived from (for reproducibility).
+        instance: The NAB instance the matrices were derived for (the other
+            half of the derivation key; lets caches distinguish schemes of
+            successive instances over one graph).
     """
 
     field: GF2m
@@ -45,6 +48,19 @@ class CodingScheme:
     symbol_bits: int
     matrices: Dict[Edge, GFMatrix]
     seed: int
+    instance: int = 0
+    #: Whether the matrices were derived deterministically from
+    #: ``(seed, instance, edge)`` by :func:`generate_coding_scheme`.  Only
+    #: derived schemes may key process-wide caches on the derivation tuple;
+    #: hand-built schemes (tests, adversarial constructions) carry arbitrary
+    #: matrices under any seed and must not share cache entries.
+    derived: bool = dataclass_field(default=False, compare=False)
+    #: Lazily built horizontal concatenations of per-edge matrices, keyed on
+    #: the edge tuple — the shared operand of batched multi-edge encodes.
+    #: Mutable cache state, excluded from the dataclass value semantics.
+    _combined: Dict[Tuple[Edge, ...], Tuple[GFMatrix, Tuple[int, ...]]] = dataclass_field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def matrix_for(self, edge: Edge) -> GFMatrix:
         """The coding matrix of a directed edge.
@@ -59,6 +75,43 @@ class CodingScheme:
     def edges(self) -> Iterator[Edge]:
         """Edges covered by the scheme, in sorted order."""
         return iter(sorted(self.matrices))
+
+    def combined_matrix(self, edges: Tuple[Edge, ...]) -> Tuple[GFMatrix, Tuple[int, ...]]:
+        """The column-wise concatenation of several edges' coding matrices.
+
+        Returns the combined ``rho x sum(z_e)`` matrix plus the per-edge
+        column widths, cached per edge tuple: the concatenation (and the
+        stacked-row window tables the field caches for it) is the shared
+        operand of every batched encode over that edge set, so repeated
+        encodes of different values pay only the per-value windowed scans.
+
+        Raises:
+            ProtocolError: if the tuple is empty or any edge has no matrix.
+        """
+        cached = self._combined.get(edges)
+        if cached is None:
+            if not edges:
+                raise ProtocolError("combined_matrix requires at least one edge")
+            rows: List[List[int]] = [[] for _ in range(self.rho)]
+            widths: List[int] = []
+            for edge in edges:
+                matrix = self.matrix_for(edge)
+                if matrix.rows != self.rho:
+                    # zip would silently drop the missing rows and hand a
+                    # ragged matrix to the trusted constructor; fail loudly
+                    # like the single-edge vecmat path does.
+                    raise ProtocolError(
+                        f"coding matrix for edge {edge} has {matrix.rows} rows "
+                        f"but the scheme uses rho={self.rho}"
+                    )
+                widths.append(matrix.cols)
+                for target, row in zip(rows, matrix.to_lists()):
+                    target.extend(row)
+            cached = self._combined[edges] = (
+                GFMatrix._trusted(self.field, rows),
+                tuple(widths),
+            )
+        return cached
 
 
 def _edge_rng(seed: int, instance: int, edge: Edge) -> random.Random:
@@ -108,7 +161,13 @@ def generate_coding_scheme(
         rng = _edge_rng(seed, instance, (tail, head))
         matrices[(tail, head)] = GFMatrix.random(field, rho, capacity, rng)
     return CodingScheme(
-        field=field, rho=rho, symbol_bits=symbol_bits, matrices=matrices, seed=seed
+        field=field,
+        rho=rho,
+        symbol_bits=symbol_bits,
+        matrices=matrices,
+        seed=seed,
+        instance=instance,
+        derived=True,
     )
 
 
@@ -132,3 +191,39 @@ def encode_value(scheme: CodingScheme, symbols: Sequence[int], edge: Edge) -> Li
             f"value has {len(symbols)} symbols but the scheme uses rho={scheme.rho}"
         )
     return scheme.matrix_for(edge).vecmat(symbols)
+
+
+def encode_on_edges(
+    scheme: CodingScheme, symbols: Sequence[int], edges: Sequence[Edge]
+) -> Dict[Edge, List[int]]:
+    """Encode one symbol vector on several edges in a single stacked pass.
+
+    Equivalent to ``{edge: encode_value(scheme, symbols, edge) for edge in
+    edges}`` but the per-edge matrices are concatenated column-wise (cached
+    per edge tuple, see :meth:`CodingScheme.combined_matrix`) so the whole
+    multi-edge encode is one :meth:`GFMatrix.vecmat` — for big symbol fields
+    that is one windowed pass per (symbol, column window) over the combined
+    batch instead of one per-edge multiplication loop.  This is how the
+    equality check and the dispute-control honesty checks batch a node's
+    encodes over all of its incident edges.
+
+    Raises:
+        ProtocolError: if the symbol vector length does not match ``rho``.
+    """
+    if len(symbols) != scheme.rho:
+        raise ProtocolError(
+            f"value has {len(symbols)} symbols but the scheme uses rho={scheme.rho}"
+        )
+    edge_tuple = tuple(edges)
+    if not edge_tuple:
+        return {}
+    if len(edge_tuple) == 1:
+        return {edge_tuple[0]: scheme.matrix_for(edge_tuple[0]).vecmat(symbols)}
+    combined, widths = scheme.combined_matrix(edge_tuple)
+    coded = combined.vecmat(symbols)
+    result: Dict[Edge, List[int]] = {}
+    base = 0
+    for edge, width in zip(edge_tuple, widths):
+        result[edge] = coded[base : base + width]
+        base += width
+    return result

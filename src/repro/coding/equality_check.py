@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
-from repro.coding.coding_matrix import CodingScheme, encode_value
+from repro.coding.coding_matrix import CodingScheme, encode_on_edges
 from repro.exceptions import ProtocolError
 from repro.gf.symbols import bits_to_symbols
 from repro.graph.network_graph import NetworkGraph
@@ -118,15 +118,35 @@ def run_equality_check(
     # Per-run memo of encodings: a sender's transmission on edge e and a
     # receiver's expectation for e both encode some node's symbol vector with
     # the same C_e, and in the (common) case where the two nodes hold the same
-    # value the encoding is computed once instead of twice.
+    # value the encoding is computed once instead of twice.  A miss encodes
+    # the vector over *all* of the node's still-missing incident edges in one
+    # stacked pass (encode_on_edges): every incident edge's coded projection
+    # is needed by the check anyway — outgoing edges for step 1, incoming
+    # edges for the step 2 expectations — so the batch wastes nothing and the
+    # whole per-node encode moves per windowed pass, not per symbol.
     encode_cache: Dict[Tuple[Tuple[int, ...], Edge], List[int]] = {}
+    incident_edges: Dict[NodeId, Tuple[Edge, ...]] = {
+        node: tuple(
+            [(tail, head) for tail, head, _cap in instance_graph.out_edges(node)]
+            + [(tail, head) for tail, head, _cap in instance_graph.in_edges(node)]
+        )
+        for node in nodes
+    }
 
     def _coded(node: NodeId, edge: Edge) -> List[int]:
-        key = (symbol_keys[node], edge)
-        coded = encode_cache.get(key)
+        vector_key = symbol_keys[node]
+        coded = encode_cache.get((vector_key, edge))
         if coded is None:
-            coded = encode_value(scheme, symbol_vectors[node], edge)
-            encode_cache[key] = coded
+            missing = tuple(
+                incident
+                for incident in incident_edges[node]
+                if (vector_key, incident) not in encode_cache
+            )
+            for incident, vector in encode_on_edges(
+                scheme, symbol_vectors[node], missing
+            ).items():
+                encode_cache[(vector_key, incident)] = vector
+            coded = encode_cache[(vector_key, edge)]
         return coded
 
     sent_vectors: Dict[Edge, Tuple[int, ...]] = {}

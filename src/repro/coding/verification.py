@@ -25,8 +25,34 @@ from typing import Dict, List, Sequence, Tuple
 from repro.coding.coding_matrix import CodingScheme
 from repro.exceptions import ProtocolError
 from repro.gf.matrix import GFMatrix
+from repro.graph.flow_cache import MinCutCache, graph_signature
 from repro.graph.network_graph import NetworkGraph
 from repro.types import NodeId
+
+#: Process-wide memo of check-matrix rank verdicts.  Repeated Phase 2 / Omega
+#: verifications across instances and sweeps used to re-run full Gaussian
+#: elimination for structurally identical questions; the verdict is a pure
+#: function of (graph structure, subgraph, scheme derivation key), so it is
+#: memoised on ``(graph_signature, subgraph nodes, seed, instance, rho,
+#: symbol_bits, modulus)`` — the graph signature of the *instance graph*
+#: already encodes the dispute-driven edge removals.  Uses the shared
+#: :class:`MinCutCache` LRU machinery (stats counters, lifetime counters).
+_RANK_CACHE = MinCutCache(max_entries=4096)
+
+
+def verification_cache_stats() -> Dict[str, object]:
+    """Hit/miss counters of the rank-verdict cache (``MinCutCache.stats`` shape)."""
+    return _RANK_CACHE.stats()
+
+
+def clear_verification_cache() -> None:
+    """Reset the process-wide rank-verdict cache.
+
+    The engine runner calls this on topology switches next to the other
+    structure caches; the ``lifetime_*`` counters survive, so sweeps can
+    still report whole-run efficacy.
+    """
+    _RANK_CACHE.clear()
 
 
 def build_check_matrix(
@@ -66,23 +92,30 @@ def build_check_matrix(
     if total_columns == 0:
         raise ProtocolError("subgraph contains no edges; equality check cannot constrain it")
     # Fill C_H row-major directly (one block row per (node, symbol) pair and
-    # one column per coded symbol), XOR-ing each coding-matrix row into the
-    # tail and head blocks, and hand the rows to the trusted constructor —
-    # every entry comes straight out of already-validated coding matrices.
+    # one column per coded symbol) and hand the rows to the trusted
+    # constructor — every entry comes straight out of already-validated
+    # coding matrices.  Each (block row, column range) pair is written at
+    # most once (column ranges are disjoint per edge and tail != head), so
+    # the Appendix C XOR-accumulation collapses to whole-row slice
+    # assembly: one vector move per coding-matrix row instead of a
+    # per-entry loop.
     data: List[List[int]] = [[0] * total_columns for _ in range(rows)]
     base = 0
     for tail, head, capacity in edge_list:
         matrix = scheme.matrix_for((tail, head))
-        for offset in range(rho):
-            coding_row = matrix.row(offset)
+        if matrix.cols != capacity:
+            # Slice assembly would silently resize the row on a width
+            # mismatch (a hand-built scheme whose matrix disagrees with the
+            # edge capacity); fail loudly instead.
+            raise ProtocolError(
+                f"coding matrix for edge ({tail}, {head}) has {matrix.cols} "
+                f"columns but the edge capacity is {capacity}"
+            )
+        for offset, coding_row in enumerate(matrix.to_lists()):
             if tail != reference:
-                target = data[node_index[tail] * rho + offset]
-                for column_index in range(capacity):
-                    target[base + column_index] ^= coding_row[column_index]
+                data[node_index[tail] * rho + offset][base : base + capacity] = coding_row
             if head != reference:
-                target = data[node_index[head] * rho + offset]
-                for column_index in range(capacity):
-                    target[base + column_index] ^= coding_row[column_index]
+                data[node_index[head] * rho + offset][base : base + capacity] = coding_row
         base += capacity
     return GFMatrix._trusted(scheme.field, data)
 
@@ -96,9 +129,33 @@ def subgraph_is_constrained(
 
     Full row rank means the only difference vector passing every check is
     zero, i.e. the equality check is sound for this potential fault-free set.
+    The verdict is memoised process-wide (see :data:`_RANK_CACHE`): the
+    coding matrices are a pure function of ``(seed, instance, edge)`` and the
+    subgraph of the instance graph, so structurally identical verifications
+    across instances and sweeps skip the Gaussian elimination entirely.
     """
-    matrix = build_check_matrix(graph, subgraph_nodes, scheme)
-    return matrix.rank() == matrix.rows
+    if not scheme.derived:
+        # Hand-built matrices are not a function of (seed, instance); caching
+        # their verdicts under the derivation key would alias unrelated
+        # schemes.
+        matrix = build_check_matrix(graph, subgraph_nodes, scheme)
+        return matrix.rank() == matrix.rows
+    key = (
+        "coding-rank",
+        graph_signature(graph),
+        tuple(sorted(subgraph_nodes)),
+        scheme.seed,
+        scheme.instance,
+        scheme.rho,
+        scheme.symbol_bits,
+        scheme.field.modulus,
+    )
+    cached = _RANK_CACHE.lookup(key)
+    if cached is None:
+        matrix = build_check_matrix(graph, subgraph_nodes, scheme)
+        cached = matrix.rank() == matrix.rows
+        _RANK_CACHE.store(key, cached)
+    return cached
 
 
 def verify_coding_scheme(

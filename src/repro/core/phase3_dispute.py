@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Sequence, Set, Tuple
 
 from repro.classical.broadcast_default import BroadcastDefault
-from repro.coding.coding_matrix import CodingScheme, encode_value
+from repro.coding.coding_matrix import CodingScheme, encode_on_edges
 from repro.coding.equality_check import EqualityCheckOutcome, value_to_symbols
 from repro.exceptions import ProtocolError
 from repro.graph.network_graph import NetworkGraph
@@ -298,15 +298,22 @@ def _claims_consistent(
         value_symbols = value_to_symbols(value_bits, total_bits, scheme)
     except ProtocolError:
         return False
+    # One stacked pass over every incident edge of G_k (outgoing sends plus
+    # the incoming expectations checked below) instead of a per-edge loop.
+    out_edge_list = [(node, head) for _tail, head, _cap in instance_graph.out_edges(node)]
+    in_edge_list = [(tail, node) for tail, _head, _cap in instance_graph.in_edges(node)]
+    expected_coded = encode_on_edges(
+        scheme, value_symbols, out_edge_list + in_edge_list
+    )
     for _tail, head, _capacity in instance_graph.out_edges(node):
-        expected_vector = tuple(encode_value(scheme, value_symbols, (node, head)))
+        expected_vector = tuple(expected_coded[(node, head)])
         if tuple(equality_sent.get(head, ())) != expected_vector:
             return False
 
     # The announced flag must match what the claimed receptions imply.
     implied_flag = False
     for tail, _head, _capacity in instance_graph.in_edges(node):
-        expected_vector = tuple(encode_value(scheme, value_symbols, (tail, node)))
+        expected_vector = tuple(expected_coded[(tail, node)])
         claimed_received = tuple(equality_received.get(tail, ()))
         if claimed_received != expected_vector:
             implied_flag = True

@@ -42,6 +42,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore existing results and recompute every cell",
     )
     parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile every computed cell and dump the top-25 cumulative "
+             "report to <out>.profile.txt next to the JSONL (forces serial "
+             "execution)",
+    )
+    parser.add_argument(
         "--list", "--list-specs", dest="list_specs", action="store_true",
         help="list available specs and exit",
     )
@@ -83,6 +89,9 @@ def main(argv=None) -> int:
         status = "error" if row.get("error") else "ok"
         print(f"  [{status}] {row['cell_id']}", flush=True)
 
+    if args.profile and args.workers > 1:
+        print("profiling forces serial execution; ignoring --workers", file=sys.stderr)
+
     started = time.perf_counter()
     summary = run_spec(
         spec,
@@ -91,6 +100,7 @@ def main(argv=None) -> int:
         limit=args.limit,
         resume=not args.fresh,
         progress=_progress,
+        profile=args.profile,
     )
     elapsed = time.perf_counter() - started
 
@@ -106,6 +116,8 @@ def main(argv=None) -> int:
         f"({elapsed:.2f}s wall)"
     )
     print(f"results: {summary.out_path}")
+    if summary.profile_path:
+        print(f"profiles: {summary.profile_path}")
     counters = summarize_rows(summary.rows)
     print(
         f"errors: {counters['errors']}  spec violations: {counters['spec_violations']}  "

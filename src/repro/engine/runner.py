@@ -20,14 +20,18 @@ tables within the worker.
 
 from __future__ import annotations
 
+import cProfile
+import io
 import json
 import multiprocessing
 import os
+import pstats
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
 from repro.classical.relay import clear_relay_path_cache
+from repro.coding.verification import clear_verification_cache
 from repro.engine.protocol import get_protocol
 from repro.engine.spec import Cell, ExperimentSpec
 from repro.graph.flow_cache import clear_mincut_cache
@@ -120,16 +124,17 @@ _LAST_TOPOLOGY: Optional[str] = None
 def _execute_cell(cell: Cell) -> Dict[str, object]:
     """Worker entry point: per-topology cache hygiene around :func:`run_cell`.
 
-    All three process-wide structure caches (min-cut solutions, arborescence
-    packings, relay paths) are keyed on canonical graph signatures, so
-    clearing them is about memory, not correctness; cells arrive grouped by
-    topology, so the clears are rare.
+    All four process-wide structure caches (min-cut solutions, arborescence
+    packings, relay paths, coding-scheme rank verdicts) are keyed on
+    canonical graph signatures, so clearing them is about memory, not
+    correctness; cells arrive grouped by topology, so the clears are rare.
     """
     global _LAST_TOPOLOGY
     if cell.topology != _LAST_TOPOLOGY:
         clear_mincut_cache()
         clear_pack_cache()
         clear_relay_path_cache()
+        clear_verification_cache()
         _LAST_TOPOLOGY = cell.topology
     return run_cell(cell)
 
@@ -235,6 +240,23 @@ class RunSummary:
     total_cells: int
     out_path: Optional[str]
     discarded_rows: int = 0
+    profile_path: Optional[str] = None
+
+
+#: How many cProfile lines each profiled cell keeps in the dump.
+_PROFILE_TOP = 25
+
+
+def _profiled_cell(cell: Cell) -> Tuple[Dict[str, object], str]:
+    """Run one cell under cProfile; return its row and the top-25 report."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    row = _execute_cell(cell)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(_PROFILE_TOP)
+    return row, buffer.getvalue()
 
 
 def run_spec(
@@ -244,6 +266,7 @@ def run_spec(
     limit: Optional[int] = None,
     resume: bool = True,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
+    profile: bool = False,
 ) -> RunSummary:
     """Run (or resume) every cell of a spec and persist one JSONL row per cell.
 
@@ -257,11 +280,18 @@ def run_spec(
         resume: Reuse completed rows from an existing output file.  When
             ``False`` any existing file is ignored and overwritten.
         progress: Optional callback invoked with each freshly computed row.
+        profile: Run every computed cell under :mod:`cProfile` and write its
+            top-25 cumulative report to ``<out_path>.profile.txt`` next to
+            the JSONL (in-memory runs collect but discard the report).
+            Forces serial execution so the profiles are not split across
+            worker processes; the rows themselves are unaffected.
 
     Returns:
         A :class:`RunSummary`; ``rows`` is in canonical grid order and, when
         the grid ran to completion, matches the persisted file line for line.
     """
+    if profile:
+        workers = 1
     cells = spec.expand()
     completed: Dict[str, Dict[str, object]] = {}
     discarded = 0
@@ -289,6 +319,7 @@ def run_spec(
         handle = open(out_path, mode, encoding="utf-8")
 
     computed: Dict[str, Dict[str, object]] = {}
+    profile_sections: List[str] = []
     try:
         if pending:
             if workers > 1:
@@ -303,7 +334,13 @@ def run_spec(
                             progress(row)
             else:
                 for cell in pending:
-                    row = _execute_cell(cell)
+                    if profile:
+                        row, report = _profiled_cell(cell)
+                        profile_sections.append(
+                            f"=== {row['cell_id']}\n{report}"
+                        )
+                    else:
+                        row = _execute_cell(cell)
                     computed[row["cell_id"]] = row
                     if handle is not None:
                         handle.write(dump_row(row) + "\n")
@@ -323,6 +360,12 @@ def run_spec(
         # the same spec produce byte-identical files.
         _write_rows_atomically(out_path, rows)
 
+    profile_path = None
+    if profile and out_path and profile_sections:
+        profile_path = out_path + ".profile.txt"
+        with open(profile_path, "w", encoding="utf-8") as profile_handle:
+            profile_handle.write("".join(profile_sections))
+
     return RunSummary(
         spec_name=spec.name,
         rows=rows,
@@ -331,4 +374,5 @@ def run_spec(
         total_cells=len(cells),
         out_path=out_path,
         discarded_rows=discarded,
+        profile_path=profile_path,
     )

@@ -44,8 +44,12 @@ from repro.gf.polynomials import (
     poly_mod,
     poly_mul,
     poly_reduce,
+    poly_reduce_stacked,
     poly_square,
     reduction_table,
+    stack_slots,
+    stack_stride,
+    unstack_slots,
     window_table,
 )
 
@@ -53,6 +57,17 @@ from repro.gf.polynomials import (
 #: multiplicand window tables; each table holds 256 shifted multiples of one
 #: element, i.e. ~``32 * degree`` bytes.
 _WINDOW_CACHE_BYTES = 4 << 20
+
+#: Memory budget for one field's cache of *stacked* window tables (tables of
+#: whole packed symbol batches, e.g. a coding-matrix row); entries are
+#: ``256 * packed_bytes`` each and an individual entry larger than a quarter
+#: of the budget is never cached (built per call instead).
+_STACK_CACHE_BYTES = 8 << 20
+
+#: Upper bound on the packed size of one stacked window, which caps how many
+#: symbols ride in a single windowed pass; the slot cap is additionally
+#: clamped to 64 slots (diminishing interpreter-amortisation returns).
+_STACK_WINDOW_BYTES = 1 << 16
 
 # Largest degree for which log/antilog tables are built (2^16 entries tops).
 _TABLE_MAX_DEGREE = 16
@@ -151,6 +166,10 @@ class GF2m:
         "_wtab",
         "_wtab_limit",
         "_big",
+        "_stride",
+        "_slot_cap",
+        "_swtab",
+        "_swtab_bytes",
     )
 
     def __init__(self, degree: int, modulus: int | None = None) -> None:
@@ -181,6 +200,24 @@ class GF2m:
         self._wtab: Dict[int, List[int]] = {}
         self._wtab_limit = max(8, _WINDOW_CACHE_BYTES // (32 * degree))
         self._big = degree > _TABLE_MAX_DEGREE
+        # Stacked-kernel geometry (degree > 16): slot stride wide enough for
+        # one raw product (guard-spacing rule, see polynomials.stack_stride),
+        # the per-window slot cap, and the stacked window-table cache.  When
+        # clamping the window to the cache's per-entry budget still leaves a
+        # useful batch (>= 8 slots), prefer cacheable windows so recurring
+        # operands (coding-matrix rows) pay their table build once; at very
+        # large degrees, where even small windows exceed the entry budget,
+        # keep the wider window — the fused scan amortisation is then worth
+        # more than the (impossible) caching.
+        self._stride = stack_stride(degree, degree)
+        width = self._stride // 8
+        window_slots = max(1, _STACK_WINDOW_BYTES // width)
+        cacheable_slots = (_STACK_CACHE_BYTES // 4) // (256 * width)
+        if cacheable_slots >= 8:
+            window_slots = min(window_slots, cacheable_slots)
+        self._slot_cap = max(1, min(window_slots, 64))
+        self._swtab: Dict[int, List[int]] = {}
+        self._swtab_bytes = 0
 
     # ------------------------------------------------------------------ tables
 
@@ -314,18 +351,14 @@ class GF2m:
             table = cache[a] = window_table(a)
         return table
 
-    def _mul_big(self, a: int, b: int) -> int:
-        """Windowed multiplication + chunked reduction (degree > 16 kernel).
+    def _raw_mul_big(self, a: int, b: int) -> int:
+        """The unreduced carry-less product behind :meth:`_mul_big`.
 
         Scans one operand byte-by-byte against the cached window table of the
-        other; prefers whichever operand already has a table cached.
+        other; prefers whichever operand already has a table cached.  Callers
+        that combine several products linearly (XOR) can defer the modular
+        reduction and fold it once over the combination.
         """
-        if a == 0 or b == 0:
-            return 0
-        if a == 1:
-            return b
-        if b == 1:
-            return a
         table = self._wtab.get(a)
         if table is None and b in self._wtab:
             a, b = b, a
@@ -335,7 +368,76 @@ class GF2m:
         product = 0
         for byte in b.to_bytes((b.bit_length() + 7) // 8, "big"):
             product = (product << 8) ^ table[byte]
-        return self._reduce(product)
+        return product
+
+    def _mul_big(self, a: int, b: int) -> int:
+        """Windowed multiplication + chunked reduction (degree > 16 kernel)."""
+        if a == 0 or b == 0:
+            return 0
+        if a == 1:
+            return b
+        if b == 1:
+            return a
+        return self._reduce(self._raw_mul_big(a, b))
+
+    # ------------------------------------------------------- stacked kernels
+
+    def _stacked_table(self, stacked: int, packed_bytes: int) -> List[int]:
+        """The window table of a stacked operand, cached within the budget.
+
+        Oversized tables (more than a quarter of :data:`_STACK_CACHE_BYTES`)
+        are built but not retained; cacheable ones evict the whole cache when
+        the budget would overflow, mirroring :meth:`_window_table_for`.
+        """
+        table = self._swtab.get(stacked)
+        if table is None:
+            table = window_table(stacked)
+            cost = 256 * packed_bytes
+            if cost <= _STACK_CACHE_BYTES // 4:
+                if self._swtab_bytes + cost > _STACK_CACHE_BYTES:
+                    self._swtab.clear()
+                    self._swtab_bytes = 0
+                self._swtab[stacked] = table
+                self._swtab_bytes += cost
+        return table
+
+    def _stacked_raw_mul(self, stacked: int, factor: int, packed_bytes: int) -> int:
+        """One windowed pass multiplying a whole packed symbol batch by ``factor``.
+
+        The window table of the *stacked* operand comes from
+        :meth:`_stacked_table` — cached per field (keyed on the stacked
+        value) within the :data:`_STACK_CACHE_BYTES` budget, so operands
+        that recur across calls — a coding-matrix row scaled by each symbol
+        of many values — pay the table build once and every later call is
+        just the ``factor`` byte scan.  Returns the raw stacked product
+        (unreduced).
+        """
+        if factor == 0 or stacked == 0:
+            return 0
+        table = self._stacked_table(stacked, packed_bytes)
+        product = 0
+        for byte in factor.to_bytes((factor.bit_length() + 7) // 8, "big"):
+            product = (product << 8) ^ table[byte]
+        return product
+
+    def _reduce_stacked(self, stacked_raw: int, count: int) -> List[int]:
+        """Reduce a stacked raw product and split it into ``count`` elements.
+
+        Uses the whole-integer masked folds of
+        :func:`polynomials.poly_reduce_stacked` when the modulus has a
+        reduction table, amortising the fold pass across the batch; dense
+        moduli fall back to per-slot Euclidean reduction.
+        """
+        redtab = self._redtab
+        if redtab is None:
+            redtab = self._reduction()
+        if redtab is False:
+            return [
+                poly_mod(value, self.modulus)
+                for value in unstack_slots(stacked_raw, self._stride, count)
+            ]
+        reduced = poly_reduce_stacked(stacked_raw, redtab, self._stride, count)
+        return unstack_slots(reduced, self._stride, count)
 
     def square(self, a: int) -> int:
         """Field squaring (table lookup, or linear-time bit spreading)."""
@@ -469,9 +571,98 @@ class GF2m:
         return [a ^ b for a, b in zip(left, right)]
 
     def scalar_mul(self, scalar: int, vector: Iterable[int]) -> List[int]:
-        """Multiply every component of ``vector`` by ``scalar``."""
+        """Multiply every component of ``vector`` by ``scalar``.
+
+        Per-symbol loop, frozen as the correctness oracle for
+        :meth:`scale_vec`; hot paths should use the vector API.
+        """
         mul = self.mul
         return [mul(scalar, component) for component in vector]
+
+    def scale_vec(self, scalar: int, vector: Sequence[int]) -> List[int]:
+        """Vector-API scalar multiply: one windowed pass per symbol window.
+
+        Small-degree fields route through the log/exp tables with the
+        scalar's log hoisted out of the loop; big fields pack the vector into
+        guard-spaced slots (:func:`polynomials.stack_slots`) and multiply the
+        whole batch by ``scalar`` in a single windowed pass, then reduce all
+        slots with one masked fold sweep.  Identical values to
+        :meth:`scalar_mul` (the frozen per-symbol oracle).
+        """
+        values = list(vector)
+        if not values:
+            return []
+        if scalar == 0:
+            return [0] * len(values)
+        if scalar == 1:
+            return values
+        if not self._big:
+            self._ensure_tables()
+            exp, log = self._exp, self._log
+            log_scalar = log[scalar]  # type: ignore[index]
+            return [exp[log_scalar + log[v]] if v else 0 for v in values]  # type: ignore[index]
+        out: List[int] = []
+        stride = self._stride
+        width = stride // 8
+        cap = self._slot_cap
+        for start in range(0, len(values), cap):
+            window = values[start : start + cap]
+            stacked = stack_slots(window, stride)
+            raw = self._stacked_raw_mul(stacked, scalar, len(window) * width)
+            out.extend(self._reduce_stacked(raw, len(window)))
+        return out
+
+    def mul_vec(self, left: Sequence[int], right: Sequence[int]) -> List[int]:
+        """Component-wise product of two equal-length vectors.
+
+        Small-degree fields use the log/exp tables; big fields compute the
+        raw windowed products pairwise and amortise the modular reduction by
+        folding every raw product in one stacked sweep.
+
+        Raises:
+            FieldError: if the lengths differ.
+        """
+        if len(left) != len(right):
+            raise FieldError(f"mul_vec length mismatch: {len(left)} vs {len(right)}")
+        if not left:
+            return []
+        if not self._big:
+            self._ensure_tables()
+            exp, log = self._exp, self._log
+            return [
+                exp[log[a] + log[b]] if a and b else 0  # type: ignore[index]
+                for a, b in zip(left, right)
+            ]
+        raw_mul = self._raw_mul_big
+        raws = [raw_mul(a, b) if a and b else 0 for a, b in zip(left, right)]
+        out: List[int] = []
+        stride = self._stride
+        cap = self._slot_cap
+        for start in range(0, len(raws), cap):
+            window = raws[start : start + cap]
+            out.extend(self._reduce_stacked(stack_slots(window, stride), len(window)))
+        return out
+
+    def dot_vec(self, left: Sequence[int], right: Sequence[int]) -> int:
+        """Vector-API inner product: raw products, one reduction at the end.
+
+        Small-degree fields match :meth:`dot` (the frozen per-symbol oracle);
+        big fields XOR the unreduced windowed products — reduction is linear
+        over XOR — and reduce the accumulator once instead of per term.
+
+        Raises:
+            FieldError: if the lengths differ.
+        """
+        if len(left) != len(right):
+            raise FieldError(f"dot_vec length mismatch: {len(left)} vs {len(right)}")
+        if not self._big:
+            return self.dot(left, right)
+        raw_mul = self._raw_mul_big
+        accumulator = 0
+        for a, b in zip(left, right):
+            if a and b:
+                accumulator ^= raw_mul(a, b)
+        return self._reduce(accumulator) if accumulator else 0
 
     # ------------------------------------------------------------------ random
 

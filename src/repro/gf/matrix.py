@@ -28,6 +28,15 @@ from typing import Iterable, List, Sequence
 
 from repro.exceptions import MatrixError
 from repro.gf.field import GF2m
+from repro.gf.polynomials import stack_slots, window_table
+
+
+def _scan_window_table(table: List[int], factor: int) -> int:
+    """Fold ``factor`` byte-by-byte through a prebuilt window table."""
+    product = 0
+    for byte in factor.to_bytes((factor.bit_length() + 7) // 8, "big"):
+        product = (product << 8) ^ table[byte]
+    return product
 
 
 class GFMatrix:
@@ -38,7 +47,7 @@ class GFMatrix:
     field and that the rows are rectangular.
     """
 
-    __slots__ = ("field", "rows", "cols", "_data")
+    __slots__ = ("field", "rows", "cols", "_data", "_stacked")
 
     def __init__(self, field: GF2m, data: Sequence[Sequence[int]]) -> None:
         rows = [list(row) for row in data]
@@ -54,6 +63,7 @@ class GFMatrix:
         self.rows = len(rows)
         self.cols = width
         self._data = rows
+        self._stacked = None
 
     # ------------------------------------------------------------ constructors
 
@@ -70,6 +80,7 @@ class GFMatrix:
         matrix.rows = len(rows)
         matrix.cols = len(rows[0])
         matrix._data = rows
+        matrix._stacked = None
         return matrix
 
     @classmethod
@@ -179,11 +190,14 @@ class GFMatrix:
             data = [[mul(scalar, entry) for entry in row] for row in self._data]
         return GFMatrix._trusted(self.field, data)
 
-    def matmul(self, other: "GFMatrix") -> "GFMatrix":
-        """Matrix product ``self @ other``.
+    def matmul_loop(self, other: "GFMatrix") -> "GFMatrix":
+        """Per-symbol matrix product: the frozen correctness oracle.
 
-        Raises:
-            MatrixError: if the inner dimensions do not agree.
+        One field multiplication per ``(row, column, inner)`` triple, exactly
+        the pre-vectorisation kernel.  Retained verbatim so :meth:`matmul`
+        (hoisted small-field logs, stacked big-field passes) has a fixed
+        reference to be property-tested and benchmarked against.  Hot paths
+        should call :meth:`matmul`.
         """
         self._require_same_field(other)
         if self.cols != other.rows:
@@ -215,14 +229,133 @@ class GFMatrix:
                 product.append(product_row)
         return GFMatrix._trusted(self.field, product)
 
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Matrix product ``self @ other``.
+
+        Small-degree fields hoist the log-table lookups of both shared
+        operands out of the inner loop (the logs of every column of ``other``
+        are precomputed once per product, the logs of each row of ``self``
+        once per row pass).  Big fields route every result row through the
+        stacked :meth:`vecmat` kernel of ``other``, whose cached stacked rows
+        and window tables are shared across all rows of ``self``.  Identical
+        values to :meth:`matmul_loop` (the frozen per-symbol oracle).
+
+        Raises:
+            MatrixError: if the inner dimensions do not agree.
+        """
+        self._require_same_field(other)
+        if self.cols != other.rows:
+            raise MatrixError(f"shape mismatch for matmul: {self.shape} @ {other.shape}")
+        tables = self.field.tables()
+        if tables is None:
+            product = [other._vecmat_big(row) for row in self._data]
+            return GFMatrix._trusted(self.field, product)
+        exp, log, _ = tables
+        # Hoisted log lookups: -1 marks a zero entry (log[0] is a placeholder).
+        log_columns = [
+            [log[entry] if entry else -1 for entry in col] for col in zip(*other._data)
+        ]
+        product = []
+        for row in self._data:
+            row_logs = [log[entry] if entry else -1 for entry in row]
+            product_row = []
+            for col_logs in log_columns:
+                accumulator = 0
+                for log_a, log_b in zip(row_logs, col_logs):
+                    if log_a >= 0 and log_b >= 0:
+                        accumulator ^= exp[log_a + log_b]
+                product_row.append(accumulator)
+            product.append(product_row)
+        return GFMatrix._trusted(self.field, product)
+
     def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
         return self.matmul(other)
 
-    def vecmat(self, vector: Sequence[int]) -> List[int]:
-        """Row-vector-times-matrix product ``vector @ self`` as a plain list.
+    # ------------------------------------------------------- stacked kernels
 
-        The workhorse of per-edge encoding (``Y_e = X_i C_e``): one output
-        symbol per column, without building intermediate 1 x n matrices.
+    def _stacked_rows(self):
+        """Each row packed into guard-spaced slot windows, built lazily.
+
+        Matrices are immutable, so the packing (and the window tables the
+        field caches for it) is computed once per matrix and shared by every
+        :meth:`vecmat` / :meth:`matmul` call.  Columns are split into windows
+        of at most ``field._slot_cap`` slots; returns ``(window_sizes,
+        stacked)`` with ``stacked[row][window]`` the packed integer.
+        """
+        cached = self._stacked
+        if cached is None:
+            field = self.field
+            stride = field._stride
+            cap = field._slot_cap
+            bounds = [
+                (start, min(start + cap, self.cols))
+                for start in range(0, self.cols, cap)
+            ]
+            stacked = [
+                [stack_slots(row[lo:hi], stride) for lo, hi in bounds]
+                for row in self._data
+            ]
+            cached = self._stacked = ([hi - lo for lo, hi in bounds], stacked)
+        return cached
+
+    def _vecmat_big(self, vector: Sequence[int]) -> List[int]:
+        """Stacked ``vector @ self`` for big fields (no input validation).
+
+        One *fused* windowed pass per column window: every non-zero symbol's
+        byte stream is scanned in lockstep against its cached stacked-row
+        table, so the wide accumulator is shifted once per byte position
+        (instead of once per symbol and byte position) and the raw products
+        of all rows accumulate in place; the window is then reduced with a
+        single masked fold sweep.  Compare one windowed multiplication per
+        (symbol, column) pair in :meth:`vecmat_loop`.
+        """
+        field = self.field
+        width = field._stride // 8
+        sizes, stacked_rows = self._stacked_rows()
+        value_bytes = (field.degree + 7) // 8
+        stacked_table = field._stacked_table
+        result: List[int] = []
+        for index, count in enumerate(sizes):
+            packed = count * width
+            pairs = []
+            for value, row_windows in zip(vector, stacked_rows):
+                if value:
+                    stacked = row_windows[index]
+                    if stacked:
+                        pairs.append(
+                            (
+                                stacked_table(stacked, packed),
+                                value.to_bytes(value_bytes, "big"),
+                            )
+                        )
+            if not pairs:
+                result.extend([0] * count)
+                continue
+            accumulator = 0
+            if len(pairs) == 1:
+                table, stream = pairs[0]
+                for byte in stream:
+                    accumulator = (accumulator << 8) ^ table[byte]
+            else:
+                tables = [table for table, _stream in pairs]
+                streams = [stream for _table, stream in pairs]
+                for position in zip(*streams):
+                    accumulator <<= 8
+                    for table, byte in zip(tables, position):
+                        if byte:
+                            accumulator ^= table[byte]
+            if accumulator:
+                result.extend(field._reduce_stacked(accumulator, count))
+            else:
+                result.extend([0] * count)
+        return result
+
+    def vecmat_loop(self, vector: Sequence[int]) -> List[int]:
+        """Per-symbol ``vector @ self``: the frozen correctness oracle.
+
+        One field multiplication per (symbol, column) pair — the
+        pre-vectorisation encode kernel, retained verbatim as the reference
+        for :meth:`vecmat` and the benchmarks.  Hot paths use :meth:`vecmat`.
 
         Raises:
             MatrixError: if ``len(vector)`` does not equal the row count.
@@ -252,6 +385,152 @@ class GFMatrix:
                         if entry:
                             result[index] ^= mul(value, entry)
         return result
+
+    def vecmat(self, vector: Sequence[int]) -> List[int]:
+        """Row-vector-times-matrix product ``vector @ self`` as a plain list.
+
+        The workhorse of per-edge encoding (``Y_e = X_i C_e``): one output
+        symbol per column, without building intermediate 1 x n matrices.
+        Small-degree fields keep the log/exp loop (the scalar's log hoisted);
+        big fields run the stacked kernel — the whole column batch moves per
+        windowed pass, not per symbol.  Identical values to
+        :meth:`vecmat_loop` (the frozen per-symbol oracle).
+
+        Raises:
+            MatrixError: if ``len(vector)`` does not equal the row count.
+        """
+        if len(vector) != self.rows:
+            raise MatrixError(
+                f"vecmat length mismatch: vector of {len(vector)} vs {self.rows} rows"
+            )
+        validate = self.field.validate
+        for value in vector:
+            validate(value)
+        tables = self.field.tables()
+        if tables is None:
+            return self._vecmat_big(vector)
+        exp, log, _ = tables
+        result = [0] * self.cols
+        for value, row in zip(vector, self._data):
+            if value:
+                log_value = log[value]
+                for index, entry in enumerate(row):
+                    if entry:
+                        result[index] ^= exp[log_value + log[entry]]
+        return result
+
+    def matvec_batch(self, vectors: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Matrix-times-vector for a whole batch: ``[self @ x for x in vectors]``.
+
+        Big fields stack the batch *across vectors*: for each matrix column
+        ``j`` the batch's ``j``-th components are packed into one guard-spaced
+        integer, its window table is built once, and every matrix entry of
+        column ``j`` is folded through it — one windowed pass per (entry,
+        batch window) instead of one multiplication per (entry, vector).
+        Small-degree fields run the hoisted log/exp loop per vector.
+
+        Raises:
+            MatrixError: if any vector's length does not equal the column
+                count.
+        """
+        batch = [list(vector) for vector in vectors]
+        validate = self.field.validate
+        for vector in batch:
+            if len(vector) != self.cols:
+                raise MatrixError(
+                    f"matvec length mismatch: vector of {len(vector)} vs {self.cols} columns"
+                )
+            for value in vector:
+                validate(value)
+        if not batch:
+            return []
+        tables = self.field.tables()
+        if tables is not None:
+            exp, log, _ = tables
+            results = []
+            for vector in batch:
+                vec_logs = [log[value] if value else -1 for value in vector]
+                output = []
+                for row in self._data:
+                    accumulator = 0
+                    for entry, log_b in zip(row, vec_logs):
+                        if entry and log_b >= 0:
+                            accumulator ^= exp[log[entry] + log_b]
+                    output.append(accumulator)
+                results.append(output)
+            return results
+        field = self.field
+        stride = field._stride
+        cap = field._slot_cap
+        results = [[] for _ in batch]
+        for start in range(0, len(batch), cap):
+            window = batch[start : start + cap]
+            count = len(window)
+            # One stacked integer (and window table) per matrix column.
+            column_tables = []
+            for col in range(self.cols):
+                stacked = stack_slots([vector[col] for vector in window], stride)
+                column_tables.append(window_table(stacked) if stacked else None)
+            reduced_rows = []
+            for row in self._data:
+                accumulator = 0
+                for entry, table in zip(row, column_tables):
+                    if entry and table is not None:
+                        accumulator ^= _scan_window_table(table, entry)
+                reduced_rows.append(field._reduce_stacked(accumulator, count))
+            for offset in range(count):
+                target = results[start + offset]
+                for reduced in reduced_rows:
+                    target.append(reduced[offset])
+        return results
+
+    def vecmat_batch(self, vectors: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Vector-times-matrix for a whole batch: ``[x @ self for x in vectors]``.
+
+        Big fields stack the batch across vectors: the ``i``-th symbols of
+        every vector pack into one guard-spaced integer whose window table is
+        shared by all columns — one windowed pass per (matrix entry, batch
+        window) instead of one multiplication per (entry, vector).
+        Small-degree fields run the log/exp loop per vector.
+
+        Raises:
+            MatrixError: if any vector's length does not equal the row count.
+        """
+        batch = [list(vector) for vector in vectors]
+        for vector in batch:
+            if len(vector) != self.rows:
+                raise MatrixError(
+                    f"vecmat length mismatch: vector of {len(vector)} vs {self.rows} rows"
+                )
+        if not batch:
+            return []
+        if self.field.tables() is not None:
+            return [self.vecmat(vector) for vector in batch]
+        validate = self.field.validate
+        for vector in batch:
+            for value in vector:
+                validate(value)
+        field = self.field
+        stride = field._stride
+        cap = field._slot_cap
+        results = [[] for _ in batch]
+        for start in range(0, len(batch), cap):
+            window = batch[start : start + cap]
+            count = len(window)
+            row_tables = []
+            for row_index in range(self.rows):
+                stacked = stack_slots([vector[row_index] for vector in window], stride)
+                row_tables.append(window_table(stacked) if stacked else None)
+            for col in range(self.cols):
+                accumulator = 0
+                for row, table in zip(self._data, row_tables):
+                    entry = row[col]
+                    if entry and table is not None:
+                        accumulator ^= _scan_window_table(table, entry)
+                reduced = field._reduce_stacked(accumulator, count)
+                for offset in range(count):
+                    results[start + offset].append(reduced[offset])
+        return results
 
     def transpose(self) -> "GFMatrix":
         """The transposed matrix."""

@@ -165,6 +165,117 @@ def poly_mul_windowed(a: int, b: int) -> int:
     return result
 
 
+def stack_stride(degree_a: int, degree_b: int) -> int:
+    """Byte-aligned slot stride (bits) for stacking operands of bounded degree.
+
+    Guard-spacing rule: a slot must hold the full carry-less product of one
+    packed value (degree ``< degree_a``) with the shared factor (degree
+    ``< degree_b``), i.e. ``degree_a + degree_b - 1`` bits, so neighbouring
+    slots can never overlap — XOR has no carries, so guard bits are only
+    needed against the product's own width, not against accumulation.  The
+    stride is rounded up to a whole number of bytes so packing and splitting
+    are single ``int.to_bytes`` / ``int.from_bytes`` passes.
+    """
+    if degree_a < 1 or degree_b < 1:
+        raise FieldError("stack_stride requires positive operand degrees")
+    return 8 * ((degree_a + degree_b - 1 + 7) // 8)
+
+
+def stack_slots(values: List[int], stride_bits: int) -> int:
+    """Pack ``values`` into one big integer, one ``stride_bits``-wide slot each.
+
+    Slot 0 (the first value) occupies the *most significant* slot, matching
+    big-endian byte order, so ``unstack_slots`` is a straight byte slice.
+    The caller guarantees every value fits its slot (see :func:`stack_stride`).
+    """
+    if stride_bits % 8:
+        raise FieldError(f"stride must be byte-aligned, got {stride_bits} bits")
+    if not values:
+        return 0
+    width = stride_bits // 8
+    return int.from_bytes(
+        b"".join(value.to_bytes(width, "big") for value in values), "big"
+    )
+
+
+def unstack_slots(stacked: int, stride_bits: int, count: int) -> List[int]:
+    """Split a stacked integer back into its ``count`` per-slot values."""
+    if stride_bits % 8:
+        raise FieldError(f"stride must be byte-aligned, got {stride_bits} bits")
+    if count < 1:
+        return []
+    width = stride_bits // 8
+    raw = stacked.to_bytes(count * width, "big")
+    return [
+        int.from_bytes(raw[index * width : (index + 1) * width], "big")
+        for index in range(count)
+    ]
+
+
+def poly_mul_stacked(values: List[int], factor: int, stride_bits: int) -> List[int]:
+    """Multiply every value by a shared ``factor`` in one windowed pass.
+
+    The SIMD-within-a-bigint trick: carry-less multiplication distributes
+    over concatenation, so ``k`` operands packed at ``stride_bits`` spacing
+    (wide enough for each product, per :func:`stack_stride`) times ``factor``
+    is a *single* :func:`poly_mul_windowed` call whose result splits back
+    into the ``k`` raw (unreduced) products.  Equivalent to
+    ``[poly_mul(v, factor) for v in values]``, against which it is
+    property-tested; callers reduce the raw products afterwards (usually via
+    :func:`poly_reduce_stacked` to amortise the fold pass too).
+    """
+    if not values:
+        return []
+    if factor == 0:
+        return [0] * len(values)
+    stacked = stack_slots(values, stride_bits)
+    return unstack_slots(poly_mul_windowed(stacked, factor), stride_bits, len(values))
+
+
+#: (degree, stride_bits, count) -> (low mask, high mask) for the stacked fold.
+_STACK_MASK_CACHE: Dict[Tuple[int, int, int], Tuple[int, int]] = {}
+
+
+def _stack_masks(degree: int, stride_bits: int, count: int) -> Tuple[int, int]:
+    """Repeating per-slot masks: low ``degree`` bits and the overflow above them."""
+    key = (degree, stride_bits, count)
+    cached = _STACK_MASK_CACHE.get(key)
+    if cached is None:
+        low_slot = (1 << degree) - 1
+        high_slot = ((1 << (stride_bits - degree)) - 1) << degree
+        low = 0
+        high = 0
+        for _ in range(count):
+            low = (low << stride_bits) | low_slot
+            high = (high << stride_bits) | high_slot
+        cached = _STACK_MASK_CACHE[key] = (low, high)
+    return cached
+
+
+def poly_reduce_stacked(
+    stacked: int, table: ReductionTable, stride_bits: int, count: int
+) -> int:
+    """Reduce every slot of a stacked raw product in whole-integer folds.
+
+    The same ``x^m == g`` folding as :func:`poly_reduce`, but applied to all
+    ``count`` slots at once: one masked extraction pulls every slot's
+    overflow down to its slot base, and each fold shift (``deg(g) <= m/2``,
+    enforced by :func:`reduction_table`) keeps the folded bits inside their
+    own slot because the stride leaves ``>= m - 1`` guard bits above the low
+    ``m``.  Returns the still-stacked reduced value (every slot ``< 2^m``);
+    equivalent to reducing each slot separately with :func:`poly_reduce`.
+    """
+    degree, _mask, exponents = table
+    low_mask, high_mask = _stack_masks(degree, stride_bits, count)
+    high = (stacked & high_mask) >> degree
+    while high:
+        stacked &= low_mask
+        for exponent in exponents:
+            stacked ^= high << exponent
+        high = ((stacked & high_mask)) >> degree
+    return stacked
+
+
 def _build_square_bytes() -> List[bytes]:
     """Little-endian 16-bit bit-spreads of every byte (squaring over GF(2))."""
     table: List[bytes] = []

@@ -63,8 +63,20 @@ class TimeAccountant:
             raise GraphError(f"cannot transmit on missing link ({tail}, {head})")
         if not isinstance(bits, int) or isinstance(bits, bool) or bits <= 0:
             raise ProtocolError(f"bits must be a positive integer, got {bits!r}")
-        ledger = self._ledger(phase)
-        ledger.link_bits[(tail, head)] = ledger.link_bits.get((tail, head), 0) + bits
+        self._record_validated(phase, tail, head, bits)
+
+    def _record_validated(self, phase: str, tail: NodeId, head: NodeId, bits: int) -> None:
+        """Ledger update behind :meth:`record_transmission`, without checks.
+
+        The transport's ``send`` already validated the link and the bit
+        count, so the per-message hot path skips re-validating them here.
+        """
+        ledger = self._phases.get(phase)
+        if ledger is None:
+            ledger = self._ledger(phase)
+        link_bits = ledger.link_bits
+        key = (tail, head)
+        link_bits[key] = link_bits.get(key, 0) + bits
 
     def add_fixed_overhead(self, phase: str, time_units: Fraction | int) -> None:
         """Charge a fixed amount of time (independent of link usage) to ``phase``."""

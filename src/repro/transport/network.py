@@ -99,6 +99,8 @@ class SynchronousNetwork:
         """
         if not self.graph.has_edge(sender, receiver):
             raise GraphError(f"no link from {sender} to {receiver}")
+        if not isinstance(bit_size, int) or isinstance(bit_size, bool) or bit_size <= 0:
+            raise ProtocolError(f"bits must be a positive integer, got {bit_size!r}")
         message = Message(
             sender=sender,
             receiver=receiver,
@@ -107,7 +109,9 @@ class SynchronousNetwork:
             payload=payload,
             bit_size=bit_size,
         )
-        self.accountant.record_transmission(phase, sender, receiver, bit_size)
+        # Link and bit count were validated above, so the accountant's
+        # re-checks are skipped on this per-message hot path.
+        self.accountant._record_validated(phase, sender, receiver, bit_size)
         self._delivered.append(message)
         return message
 
