@@ -1,0 +1,130 @@
+"""ARQ transport overhead: retransmission cost versus link-loss rate.
+
+Drives a fixed synthetic traffic pattern through :class:`ReliableNetwork`
+at several loss rates (the registered ``drop-10pct`` plan rescaled via
+``LinkFaultPlan.scaled``) and records, per rate, the wall-clock send
+throughput, the retransmitted-bit overhead relative to the clean bit
+ledger, and the measured elapsed clock.  Results land in
+``BENCH_reliable_transport.json``.
+
+Two correctness gates ride along with the timing:
+
+* **Zero-loss gate** — at loss factor 0 the ARQ layer must charge exactly
+  nothing: no retransmitted bits, no timeout delay, and a bit ledger and
+  clock identical to a plain :class:`ScheduledNetwork` carrying the same
+  traffic.  Reliability must be free when the links are clean.
+* **Ledger gate** — at every loss rate the lossy bit total must equal the
+  clean total plus the reported ``retransmit_bits``, and the measured
+  replay clock must equal the analytical accountant (the zero-latency
+  scheduler contract survives fault activity).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from _harness import scaled, suite_result, time_callable, write_results
+from repro.graph.network_graph import NetworkGraph
+from repro.sched.faults import fault_plan
+from repro.transport import ReliableNetwork, ScheduledNetwork
+
+#: Scale factors applied to the registered ``drop-10pct`` plan, i.e. the
+#: per-attempt drop probabilities swept by the benchmark.
+LOSS_FACTORS = (
+    (Fraction(0), "loss-0pct"),
+    (Fraction(1, 10), "loss-1pct"),
+    (Fraction(1, 2), "loss-5pct"),
+    (Fraction(1), "loss-10pct"),
+    (Fraction(2), "loss-20pct"),
+)
+
+MESSAGES = scaled(20_000, 2_000)
+PHASES = 8
+
+
+def _graph() -> NetworkGraph:
+    return NetworkGraph.from_edges(
+        {(1, 2): 4, (2, 3): 2, (3, 4): 2, (1, 3): 8, (2, 4): 4, (1, 4): 1}
+    )
+
+
+def _drive(network) -> None:
+    """Send the fixed traffic pattern: round-robin edges, varying sizes."""
+    edges = sorted(_graph().edge_set())
+    for index in range(MESSAGES):
+        tail, head = edges[index % len(edges)]
+        bits = 1 + (index % 16)
+        network.send(tail, head, b"x", bits, f"phase-{index % PHASES}")
+
+
+def test_reliable_transport_overhead_vs_loss(benchmark):
+    def _run():
+        baseline = ScheduledNetwork(_graph())
+        baseline_seconds, _ = time_callable(lambda: _drive(baseline))
+        rows = []
+        for factor, label in LOSS_FACTORS:
+            plan = fault_plan("drop-10pct").scaled(factor)
+            network = ReliableNetwork(_graph(), fault_plan=plan)
+            seconds, _ = time_callable(lambda: _drive(network))
+            rows.append((label, factor, seconds, network))
+        return baseline, baseline_seconds, rows
+
+    baseline, baseline_seconds, rows = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    clean_bits = baseline.accountant.total_bits()
+    suites = {
+        "scheduled-baseline": suite_result(
+            baseline_seconds, operations=MESSAGES, bits=clean_bits
+        )
+    }
+
+    print()
+    print(f"{MESSAGES} sends over {len(_graph().edge_set())} edges, {PHASES} phases")
+    print(f"baseline (ScheduledNetwork): {baseline_seconds:6.3f}s  "
+          f"({MESSAGES / baseline_seconds:8.0f} sends/s)")
+
+    for label, factor, seconds, network in rows:
+        stats = network.reliability_stats()
+        retransmit_bits = stats["retransmit_bits"]
+        total_bits = network.accountant.total_bits()
+        overhead = retransmit_bits / clean_bits if clean_bits else 0.0
+
+        # Ledger gate: faults only ever *add* accounted wire copies, and the
+        # measured replay clock tracks the analytical accountant exactly.
+        assert total_bits == clean_bits + retransmit_bits, (
+            f"{label}: bit ledger diverged from clean + retransmit"
+        )
+        assert network.elapsed_time() == network.accountant.total_elapsed(), (
+            f"{label}: measured clock diverged from the analytical oracle"
+        )
+
+        if factor == 0:
+            # Zero-loss gate: the ARQ layer must be free on clean links.
+            assert retransmit_bits == 0, "zero-loss run retransmitted bits"
+            assert stats["retransmissions"] == 0
+            assert Fraction(stats["timeout_time"]) == 0
+            assert total_bits == clean_bits
+            assert network.elapsed_time() == baseline.elapsed_time(), (
+                "zero-loss ARQ clock diverged from plain ScheduledNetwork"
+            )
+
+        suites[label] = suite_result(
+            seconds,
+            operations=MESSAGES,
+            loss_factor=str(factor),
+            bits=total_bits,
+            retransmit_bits=retransmit_bits,
+            retransmissions=stats["retransmissions"],
+            dropped_messages=stats["dropped_messages"],
+            overhead_vs_clean=overhead,
+            elapsed_clock=str(network.elapsed_time()),
+        )
+        print(f"{label:>10}: {seconds:6.3f}s  ({MESSAGES / seconds:8.0f} sends/s)  "
+              f"retransmit {retransmit_bits:>7} bits  "
+              f"overhead {overhead:6.2%}  "
+              f"dead {stats['dropped_messages']}")
+
+    path = write_results("reliable_transport", suites)
+    print(f"wrote {path}")

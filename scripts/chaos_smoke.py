@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Chaos smoke test: SIGKILL the sweep mid-run, resume, demand byte-identity.
+
+Exercises the PR 6 crash-tolerance contract end to end through the real CLI:
+
+1. Run ``nab_vs_classical_quick`` uninterrupted to a reference JSONL.
+2. Start the same sweep fresh in a subprocess with worker processes, wait
+   until it has made partial progress, then SIGKILL one of its *worker*
+   processes (the supervisor must respawn it and retry the cell), and
+   shortly after SIGKILL the whole driver process group mid-sweep.
+3. Re-run the same command against the same output path: the runner's
+   resume path must complete the remaining cells.
+4. The recovered JSONL must be byte-identical to the uninterrupted
+   reference, and nothing may have been quarantined.
+
+Exit status is nonzero on any violation, so CI can gate on it.
+
+Usage:
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SPEC = "nab_vs_classical_quick"
+WORKERS = 2
+DRIVER_TIMEOUT = 300
+
+
+def _repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(_repo_root(), "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _sweep_cmd(out_path: str, workers: int) -> list:
+    return [
+        sys.executable, "-m", "repro.engine",
+        "--spec", SPEC,
+        "--out", out_path,
+        "--workers", str(workers),
+    ]
+
+
+def _worker_pids(driver_pid: int) -> list:
+    """PIDs of the driver's direct children (the pool workers)."""
+    try:
+        listing = subprocess.run(
+            ["ps", "-o", "pid=", "--ppid", str(driver_pid)],
+            capture_output=True, text=True, check=False,
+        ).stdout
+    except OSError:
+        return []
+    return [int(tok) for tok in listing.split()]
+
+
+def main() -> int:
+    root = _repo_root()
+    env = _env()
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        reference = os.path.join(tmp, "reference.jsonl")
+        chaos = os.path.join(tmp, "chaos.jsonl")
+
+        print(f"[chaos] reference run: {SPEC}, {WORKERS} workers")
+        subprocess.run(
+            _sweep_cmd(reference, WORKERS), env=env, cwd=root,
+            check=True, timeout=DRIVER_TIMEOUT,
+        )
+
+        print("[chaos] chaos run: SIGKILL a worker, then the driver, mid-sweep")
+        # New session => the driver and its workers form their own process
+        # group we can kill wholesale without touching this script.
+        driver = subprocess.Popen(
+            _sweep_cmd(chaos, WORKERS), env=env, cwd=root,
+            start_new_session=True,
+        )
+        try:
+            # Wait for the pool to spin up, then murder one worker: the
+            # supervisor must absorb this (respawn + retry), not stall.
+            deadline = time.time() + 60
+            workers = []
+            while time.time() < deadline and not workers:
+                if driver.poll() is not None:
+                    break
+                workers = _worker_pids(driver.pid)
+                if not workers:
+                    time.sleep(0.05)
+            if workers and driver.poll() is None:
+                victim = workers[0]
+                print(f"[chaos] SIGKILL worker pid {victim}")
+                try:
+                    os.kill(victim, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+
+            # Let the sweep make partial progress, then kill the whole
+            # process group mid-flight (driver included).
+            deadline = time.time() + 60
+            while time.time() < deadline and driver.poll() is None:
+                if os.path.exists(chaos) and os.path.getsize(chaos) > 0:
+                    break
+                time.sleep(0.05)
+            if driver.poll() is None:
+                print(f"[chaos] SIGKILL driver process group {driver.pid}")
+                os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+            driver.wait(timeout=60)
+        finally:
+            if driver.poll() is None:
+                try:
+                    os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+                driver.wait(timeout=60)
+
+        print("[chaos] resume run")
+        subprocess.run(
+            _sweep_cmd(chaos, WORKERS), env=env, cwd=root,
+            check=True, timeout=DRIVER_TIMEOUT,
+        )
+
+        quarantine = chaos + ".quarantine.jsonl"
+        if os.path.exists(quarantine):
+            print(f"[chaos] FAIL: cells were quarantined ({quarantine})")
+            return 1
+
+        with open(reference, "rb") as handle:
+            want = handle.read()
+        with open(chaos, "rb") as handle:
+            got = handle.read()
+        if want != got:
+            print("[chaos] FAIL: recovered sweep is not byte-identical "
+                  "to the uninterrupted reference")
+            return 1
+        if not want:
+            print("[chaos] FAIL: reference sweep produced no rows")
+            return 1
+
+        rows = want.count(b"\n")
+        print(f"[chaos] OK: {rows} rows, recovered sweep byte-identical "
+              "to the uninterrupted reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

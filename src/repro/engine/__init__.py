@@ -10,8 +10,9 @@ Three layers:
 * :mod:`repro.engine.spec` — :class:`ExperimentSpec` cross-products
   topologies × adversary strategies × payload sizes × ``f`` × protocols into
   concrete cells with deterministic per-cell seeds.
-* :mod:`repro.engine.runner` / :mod:`repro.engine.report` — a
-  ``multiprocessing`` runner that shards cells across workers, streams one
+* :mod:`repro.engine.runner` / :mod:`repro.engine.report` — a supervised
+  ``multiprocessing`` runner that shards cells across workers (respawning
+  crashed workers and quarantining cells that keep killing them), streams one
   JSONL row per cell, resumes by skipping completed cells, and a reporting
   layer that renders measured throughput against the Eq. 6 / Theorem 2
   bounds.
@@ -23,6 +24,8 @@ Run a named spec from the command line::
 
 from repro.engine.protocol import (
     Protocol,
+    ReliabilityCollector,
+    attach_reliability_stats,
     get_protocol,
     network_factory_from_params,
     register_protocol,
@@ -61,6 +64,8 @@ __all__ = [
     "PIPELINED",
     "EXECUTIONS",
     "network_factory_from_params",
+    "ReliabilityCollector",
+    "attach_reliability_stats",
     "cell_seed",
     "run_spec",
     "run_cell",

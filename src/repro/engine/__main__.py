@@ -48,6 +48,13 @@ def _build_parser() -> argparse.ArgumentParser:
              "execution)",
     )
     parser.add_argument(
+        "--max-cell-retries", type=int, default=2,
+        help="with --workers > 1: how many times a cell whose worker process "
+             "died (OOM kill, SIGKILL) is retried on a respawned worker "
+             "before being quarantined to <out>.quarantine.jsonl "
+             "(default: 2)",
+    )
+    parser.add_argument(
         "--list", "--list-specs", dest="list_specs", action="store_true",
         help="list available specs and exit",
     )
@@ -101,6 +108,7 @@ def main(argv=None) -> int:
         resume=not args.fresh,
         progress=_progress,
         profile=args.profile,
+        max_cell_retries=args.max_cell_retries,
     )
     elapsed = time.perf_counter() - started
 
@@ -118,11 +126,25 @@ def main(argv=None) -> int:
     print(f"results: {summary.out_path}")
     if summary.profile_path:
         print(f"profiles: {summary.profile_path}")
+    if summary.retried_cells or summary.quarantined_cells:
+        # Degraded sweeps must be loud: these cells hit worker crashes.
+        line = f"worker crashes: {summary.retried_cells} cell(s) retried"
+        if summary.quarantined_cells:
+            line += (
+                f", {summary.quarantined_cells} quarantined"
+                f" -> {summary.quarantine_path}"
+            )
+        print(line)
     counters = summarize_rows(summary.rows)
     print(
         f"errors: {counters['errors']}  spec violations: {counters['spec_violations']}  "
         f"dispute-control executions: {counters['dispute_control_executions']}"
     )
+    if counters["retransmit_bits"] or counters["dropped_messages"]:
+        print(
+            f"link faults: {counters['retransmit_bits']} retransmitted bit(s), "
+            f"{counters['dropped_messages']} message(s) dropped after retries"
+        )
     print()
     print(render_comparison(summary.rows))
     return 0

@@ -14,6 +14,7 @@ can register additional protocols with :func:`register_protocol`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.classical.flooding import (
@@ -23,11 +24,43 @@ from repro.classical.flooding import (
 from repro.core.nab import NetworkAwareBroadcast
 from repro.exceptions import ConfigurationError
 from repro.graph.network_graph import NetworkGraph
-from repro.sched.links import link_model
+from repro.sched.faults import LinkFaultPlan, fault_plan
+from repro.sched.links import LinkModel, link_model
 from repro.transport.faults import FaultModel
 from repro.transport.network import NetworkFactory
+from repro.transport.reliable import ReliableNetwork, accumulate_reliability_stats
 from repro.transport.scheduled import ScheduledNetwork
 from repro.types import NodeId, RunRecord
+
+
+class ReliabilityCollector:
+    """A transport factory that builds ARQ networks and aggregates their stats.
+
+    Protocols construct one network per instance through their
+    ``network_factory`` hook; this callable keeps every network it built so
+    the adapter can fold the per-network
+    :meth:`~repro.transport.reliable.ReliableNetwork.reliability_stats` into
+    one per-run total after the run (see :func:`attach_reliability_stats`).
+    """
+
+    def __init__(self, plan: LinkFaultPlan, model: Optional[LinkModel]) -> None:
+        self.plan = plan
+        self.model = model
+        self.networks: List[ReliableNetwork] = []
+
+    def __call__(self, graph: NetworkGraph, fault_model: FaultModel) -> ReliableNetwork:
+        network = ReliableNetwork(
+            graph, fault_model, link_model=self.model, fault_plan=self.plan
+        )
+        self.networks.append(network)
+        return network
+
+    def totals(self) -> Dict[str, object]:
+        """Run-wide ARQ overhead: every constructed network's stats, summed."""
+        totals: Dict[str, object] = {}
+        for network in self.networks:
+            accumulate_reliability_stats(totals, network.reliability_stats())
+        return totals
 
 
 def network_factory_from_params(params: Mapping[str, object]) -> Optional[NetworkFactory]:
@@ -36,16 +69,38 @@ def network_factory_from_params(params: Mapping[str, object]) -> Optional[Networ
     When ``params`` carries a ``"link_model"`` name the run goes through
     :class:`ScheduledNetwork` with that named model (``"instant"`` included —
     the measured clock then equals the analytical one exactly, per the
-    scheduler contract); without the key the protocol keeps its default
-    zero-delay transport.
+    scheduler contract); a ``"fault_plan"`` name upgrades the transport to
+    the ARQ :class:`~repro.transport.reliable.ReliableNetwork` over that plan
+    (composable with ``"link_model"``).  Without either key the protocol
+    keeps its default zero-delay transport.
     """
-    name = params.get("link_model")
-    if name is None:
+    model_name = params.get("link_model")
+    model = link_model(str(model_name)) if model_name is not None else None
+    plan_name = params.get("fault_plan")
+    if plan_name is not None:
+        return ReliabilityCollector(fault_plan(str(plan_name)), model)
+    if model is None:
         return None
-    model = link_model(str(name))
     return lambda graph, fault_model: ScheduledNetwork(
         graph, fault_model, link_model=model
     )
+
+
+def attach_reliability_stats(
+    record: RunRecord, factory: Optional[NetworkFactory]
+) -> RunRecord:
+    """Copy a run's aggregated ARQ overhead into ``record.metadata``.
+
+    A no-op unless the run went through a :class:`ReliabilityCollector` with a
+    *non-clean* fault plan: clean plans are bit-identical to the plain
+    scheduled transport by contract, so their records must not change shape
+    either (the zero-fault byte-identity guarantee).
+    """
+    if not isinstance(factory, ReliabilityCollector) or factory.plan.is_clean:
+        return record
+    metadata = dict(record.metadata)
+    metadata["reliability"] = factory.totals()
+    return replace(record, metadata=metadata)
 
 
 def _check_execution(params: Mapping[str, object], protocol: "Protocol") -> bool:
@@ -108,17 +163,20 @@ class NABProtocol(Protocol):
 
     def run(self, graph, source, inputs, fault_model, params):
         pipelined = _check_execution(params, self)
+        factory = network_factory_from_params(params)
         nab = NetworkAwareBroadcast(
             graph,
             source,
             int(params["max_faults"]),
             fault_model=fault_model,
             coding_seed=int(params.get("coding_seed", 0)),
-            network_factory=network_factory_from_params(params),
+            network_factory=factory,
         )
         if pipelined:
-            return nab.run_pipelined_record(list(inputs))
-        return nab.run_record(list(inputs))
+            record = nab.run_pipelined_record(list(inputs))
+        else:
+            record = nab.run_record(list(inputs))
+        return attach_reliability_stats(record, factory)
 
 
 class ClassicalFloodingProtocol(Protocol):
@@ -128,14 +186,16 @@ class ClassicalFloodingProtocol(Protocol):
 
     def run(self, graph, source, inputs, fault_model, params):
         _check_execution(params, self)
-        return classical_flooding_run_record(
+        factory = network_factory_from_params(params)
+        record = classical_flooding_run_record(
             graph,
             source,
             list(inputs),
             int(params["max_faults"]),
             fault_model,
-            network_factory=network_factory_from_params(params),
+            network_factory=factory,
         )
+        return attach_reliability_stats(record, factory)
 
 
 class EIGChunkedProtocol(Protocol):
@@ -145,15 +205,17 @@ class EIGChunkedProtocol(Protocol):
 
     def run(self, graph, source, inputs, fault_model, params):
         _check_execution(params, self)
-        return eig_chunked_run_record(
+        factory = network_factory_from_params(params)
+        record = eig_chunked_run_record(
             graph,
             source,
             list(inputs),
             int(params["max_faults"]),
             fault_model,
             chunk_bytes=int(params.get("chunk_bytes", 1)),
-            network_factory=network_factory_from_params(params),
+            network_factory=factory,
         )
+        return attach_reliability_stats(record, factory)
 
 
 _REGISTRY: Dict[str, Protocol] = {}

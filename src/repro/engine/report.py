@@ -29,6 +29,7 @@ def _scenario_key(row: Dict[str, object]) -> Tuple:
         row["max_faults"],
         row.get("execution", "sequential"),
         row.get("link_model", "instant"),
+        row.get("fault_plan", "none"),
     )
 
 
@@ -58,8 +59,10 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
     ] + ["Eq.6 bound", "Thm.2 bound", "nab/capacity"]
     table: List[List[object]] = []
     for key, scenario in scenarios.items():
-        topology_name, strategy, payload_bytes, max_faults, execution, model = key
+        topology_name, strategy, payload_bytes, max_faults, execution, model, plan = key
         mode = execution if model == "instant" else f"{execution}+{model}"
+        if plan != "none":
+            mode += f"+{plan}"
         line: List[object] = [
             topology_name, strategy, 8 * payload_bytes, max_faults, mode,
         ]
@@ -109,10 +112,17 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
 
 
 def summarize_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Aggregate counters for a sweep: cells, errors, violations, Phase 3 runs."""
+    """Aggregate counters for a sweep: cells, errors, violations, Phase 3 runs.
+
+    Also totals the ARQ overhead (``retransmit_bits``, ``dropped_messages``)
+    of cells that ran under a link-fault plan, so lossy sweeps surface their
+    degradation in one place.
+    """
     errors = sum(1 for row in rows if row.get("error"))
     violations = 0
     phase3 = 0
+    retransmit_bits = 0
+    dropped_messages = 0
     for row in rows:
         record = row.get("record")
         if not record:
@@ -120,9 +130,14 @@ def summarize_rows(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
         phase3 += int(record.get("dispute_control_executions", 0))
         if not record["agreement_ok"] or record["validity_ok"] is False:
             violations += 1
+        reliability = (record.get("metadata") or {}).get("reliability") or {}
+        retransmit_bits += int(reliability.get("retransmit_bits", 0))
+        dropped_messages += int(reliability.get("dropped_messages", 0))
     return {
         "cells": len(rows),
         "errors": errors,
         "spec_violations": violations,
         "dispute_control_executions": phase3,
+        "retransmit_bits": retransmit_bits,
+        "dropped_messages": dropped_messages,
     }

@@ -1,16 +1,23 @@
 """Parallel cell execution with persisted, resumable JSONL results.
 
-The runner shards a spec's cells across ``multiprocessing`` workers, streams
-one JSON row per completed cell to the output file (append-only, crash safe),
-and on completion compacts the file into canonical grid order.  Rows are pure
-functions of their cell — exact rationals are serialised as ``"p/q"`` strings,
-every mapping key is a string, and ``json.dumps(..., sort_keys=True)`` is used
-throughout — so a fresh run and a killed-then-resumed run of the same spec
-produce byte-identical files.
+The runner shards a spec's cells across supervised ``multiprocessing``
+workers, streams one JSON row per completed cell to the output file
+(append-only, crash safe), and on completion compacts the file into canonical
+grid order via a fsync-then-rename.  Rows are pure functions of their cell —
+exact rationals are serialised as ``"p/q"`` strings, every mapping key is a
+string, and ``json.dumps(..., sort_keys=True)`` is used throughout — so a
+fresh run and a killed-then-resumed run of the same spec produce byte-identical
+files.
 
 Resume: before executing, the runner reads any existing output file, keeps
 every well-formed row whose cell id belongs to the current grid (matching
 spec, seed and schema version), and only computes the rest.
+
+Worker crashes (OOM kill, SIGKILL, segfault) never stall a sweep: each worker
+owns a private pipe, so its death is detected as EOF and attributed to exactly
+one in-flight cell, which is retried with backoff on a respawned worker and —
+after ``max_cell_retries`` failures — quarantined to
+``<out>.quarantine.jsonl`` instead of aborting the run.
 
 Each worker clears the process-wide min-cut cache whenever it switches to an
 unrelated topology (cells arrive grouped by topology, so this is rare) and
@@ -26,7 +33,10 @@ import json
 import multiprocessing
 import os
 import pstats
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as _connection_wait
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.capacity.bounds import CapacityAnalysis, analyse_network
@@ -34,8 +44,10 @@ from repro.classical.relay import clear_relay_path_cache
 from repro.coding.verification import clear_verification_cache
 from repro.engine.protocol import get_protocol
 from repro.engine.spec import Cell, ExperimentSpec
+from repro.exceptions import ConfigurationError
 from repro.graph.flow_cache import clear_mincut_cache
 from repro.graph.spanning_trees import clear_pack_cache
+from repro.sched.faults import fault_plan
 
 #: Version stamp of the persisted row layout; bump on breaking changes so
 #: resume never mixes incompatible rows.
@@ -46,6 +58,18 @@ ROW_SCHEMA_VERSION = 1
 #: bounds depend only on graph structure, so the handful of distinct keys in a
 #: grid are computed once per worker instead of once per cell.
 _ANALYSIS_MEMO: Dict[tuple, CapacityAnalysis] = {}
+
+
+def _plan_is_clean(plan_name: str) -> bool:
+    """Whether the named fault plan never faults a link.
+
+    Unknown names count as non-clean: the row then carries the plan name, and
+    the lookup failure surfaces in its ``error`` field instead of here.
+    """
+    try:
+        return fault_plan(plan_name).is_clean
+    except ConfigurationError:
+        return False
 
 
 def _bounds_jsonable(analysis: CapacityAnalysis) -> Dict[str, object]:
@@ -84,6 +108,12 @@ def run_cell(cell: Cell) -> Dict[str, object]:
         "execution": cell.execution,
         "link_model": cell.link_model,
     }
+    if cell.fault_plan != "none" and not _plan_is_clean(cell.fault_plan):
+        # Conditional so rows of fault-free grids keep the exact byte layout
+        # they had before the fault-plan axis existed — and so a zero-rate
+        # plan (clean by construction) reproduces the fault-free rows
+        # byte-identically even though it routes through the ARQ transport.
+        row["fault_plan"] = cell.fault_plan
     try:
         memo_key = (cell.topology, scenario.source, cell.max_faults)
         analysis = _ANALYSIS_MEMO.get(memo_key)
@@ -101,6 +131,13 @@ def run_cell(cell: Cell) -> Dict[str, object]:
             # the plain transport's (see repro.transport.scheduled), so
             # default cells skip the per-send scheduling bookkeeping entirely.
             params["link_model"] = cell.link_model
+        if cell.fault_plan != "none":
+            # Any named plan (clean ones included) routes through the ARQ
+            # transport — the clean fast path is contractually bit-identical
+            # to the default transport, and exercising it keeps the zero-rate
+            # byte-identity guarantee honest.  Only "none" itself skips the
+            # per-send bookkeeping entirely, mirroring link_model "instant".
+            params["fault_plan"] = cell.fault_plan
         record = protocol.run(
             scenario.graph,
             scenario.source,
@@ -191,17 +228,41 @@ def _load_completed_rows(
 
 
 def _write_rows_atomically(path: str, rows: Sequence[Dict[str, object]]) -> None:
-    """Replace ``path`` with one canonical JSON line per row (write-then-rename).
+    """Replace ``path`` with one canonical JSON line per row, crash-safely.
 
     The single serialization used both by the pre-append rewrite and the
     end-of-run compaction, so resumed files can never diverge from fresh-run
-    files byte for byte.
+    files byte for byte.  The temp file is fully written and fsynced before
+    the atomic rename, so a kill at any instant leaves either the old file or
+    the complete new one — never a truncated mix; a failed write cleans up
+    its temp file instead of leaving it to shadow the next attempt.
     """
     tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as tmp:
-        for row in rows:
-            tmp.write(dump_row(row) + "\n")
-    os.replace(tmp_path, path)
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for row in rows:
+                tmp.write(dump_row(row) + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    # Persist the rename itself (best effort: not every filesystem supports
+    # fsync on a directory handle).
+    try:
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def _ends_with_newline(path: str) -> bool:
@@ -231,6 +292,13 @@ class RunSummary:
             resume (truncated/corrupt lines, stale or errored rows).
         total_cells: Size of the full grid.
         out_path: The output file, or ``None`` for in-memory runs.
+        retried_cells: Distinct cells whose worker died at least once and
+            were re-executed on a respawned worker.
+        quarantined_cells: Cells abandoned after exhausting their retry
+            budget (their identities live in the quarantine file, not in
+            ``rows``).
+        quarantine_path: The quarantine JSONL next to the output file, or
+            ``None`` when nothing was quarantined.
     """
 
     spec_name: str
@@ -241,6 +309,168 @@ class RunSummary:
     out_path: Optional[str]
     discarded_rows: int = 0
     profile_path: Optional[str] = None
+    retried_cells: int = 0
+    quarantined_cells: int = 0
+    quarantine_path: Optional[str] = None
+
+
+def _worker_pool_main(conn: Connection) -> None:
+    """Supervised-worker child: execute cells off ``conn`` until told to stop.
+
+    The protocol is strictly request/response — one pickled :class:`Cell` in,
+    one row dict out — so the supervisor always knows which cell a dead
+    worker was holding.  A ``None`` request (or a closed pipe) is the
+    shutdown signal.
+    """
+    try:
+        while True:
+            try:
+                cell = conn.recv()
+            except (EOFError, OSError):
+                return
+            if cell is None:
+                return
+            conn.send(_execute_cell(cell))
+    finally:
+        conn.close()
+
+
+@dataclass
+class _InFlight:
+    """One cell's journey through the supervised pool."""
+
+    cell: Cell
+    attempts: int = 0
+    exitcodes: List[Optional[int]] = field(default_factory=list)
+
+
+def _quarantine_row(item: _InFlight) -> Dict[str, object]:
+    """The JSONL row describing a quarantined cell.
+
+    Mirrors the identity fields of a result row so quarantine files are
+    self-describing, and carries the crash evidence (attempt count and the
+    exit codes of the dead workers — e.g. ``-9`` for SIGKILL) in place of a
+    record.
+    """
+    cell = item.cell
+    return {
+        "schema": ROW_SCHEMA_VERSION,
+        "spec": cell.spec_name,
+        "cell_id": cell.cell_id,
+        "seed": cell.seed,
+        "attempts": item.attempts,
+        "worker_exitcodes": list(item.exitcodes),
+        "error": (
+            f"WorkerCrash: worker process died {item.attempts} time(s) "
+            "executing this cell"
+        ),
+    }
+
+
+def _run_supervised(
+    pending: Sequence[Cell],
+    workers: int,
+    emit: Callable[[Dict[str, object]], None],
+    max_cell_retries: int,
+    retry_backoff: float,
+) -> Tuple[int, List[Dict[str, object]]]:
+    """Execute ``pending`` on a crash-tolerant pool of worker processes.
+
+    Unlike :class:`multiprocessing.Pool` — which deadlocks or aborts the whole
+    map when a worker is OOM-killed — each worker owns a private duplex pipe,
+    so a death (the pipe hitting EOF) is attributable to exactly one in-flight
+    cell.  Dead workers are respawned immediately; their cell is retried with
+    exponential backoff (``retry_backoff * 2**k``) and quarantined after
+    ``max_cell_retries`` retries instead of sinking the sweep.
+
+    Calls ``emit`` with each completed row (any thread-unsafe persistence
+    stays in the caller, which runs single-threaded).
+
+    Returns:
+        ``(retried_cell_count, quarantine_rows)`` where the count is of
+        distinct cells that crashed at least once and the rows describe the
+        cells that exhausted their budget.
+    """
+    ctx = multiprocessing.get_context()
+    queue: List[_InFlight] = [_InFlight(cell) for cell in pending]
+    next_index = 0
+    retried: set = set()
+    quarantined: List[Dict[str, object]] = []
+
+    def spawn() -> Connection:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(
+            target=_worker_pool_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        processes[parent_conn] = process
+        return parent_conn
+
+    def reap(conn: Connection) -> Optional[int]:
+        process = processes.pop(conn)
+        conn.close()
+        process.join()
+        return process.exitcode
+
+    processes: Dict[Connection, object] = {}
+    idle: List[Connection] = []
+    busy: Dict[Connection, _InFlight] = {}
+    for _ in range(max(1, min(workers, len(queue)))):
+        idle.append(spawn())
+    try:
+        while next_index < len(queue) or busy:
+            while idle and next_index < len(queue):
+                conn = idle.pop()
+                item = queue[next_index]
+                next_index += 1
+                try:
+                    conn.send(item.cell)
+                except (OSError, ValueError):
+                    # The worker died while idle: the cell was never
+                    # attempted, so it goes back to the head of the queue
+                    # without being charged a retry.
+                    next_index -= 1
+                    reap(conn)
+                    idle.append(spawn())
+                    continue
+                busy[conn] = item
+            if not busy:
+                continue
+            for conn in _connection_wait(list(busy)):
+                item = busy.pop(conn)
+                try:
+                    row = conn.recv()
+                except (EOFError, OSError):
+                    # Death mid-cell (OOM kill, SIGKILL, segfault): respawn
+                    # the worker, then retry or quarantine the cell.
+                    item.attempts += 1
+                    item.exitcodes.append(reap(conn))
+                    idle.append(spawn())
+                    if item.attempts > max_cell_retries:
+                        quarantined.append(_quarantine_row(item))
+                    else:
+                        retried.add(item.cell.cell_id)
+                        if retry_backoff > 0:
+                            time.sleep(
+                                retry_backoff * 2 ** (item.attempts - 1)
+                            )
+                        queue.append(item)
+                    continue
+                emit(row)
+                idle.append(conn)
+    finally:
+        for conn, process in list(processes.items()):
+            try:
+                conn.send(None)
+            except (OSError, ValueError):
+                pass
+            conn.close()
+            process.join(timeout=5)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+    return len(retried), quarantined
 
 
 #: How many cProfile lines each profiled cell keeps in the dump.
@@ -267,6 +497,8 @@ def run_spec(
     resume: bool = True,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
     profile: bool = False,
+    max_cell_retries: int = 2,
+    retry_backoff: float = 0.5,
 ) -> RunSummary:
     """Run (or resume) every cell of a spec and persist one JSONL row per cell.
 
@@ -285,6 +517,13 @@ def run_spec(
             the JSONL (in-memory runs collect but discard the report).
             Forces serial execution so the profiles are not split across
             worker processes; the rows themselves are unaffected.
+        max_cell_retries: How many times a cell whose worker process died is
+            re-executed (on a fresh worker) before being quarantined to
+            ``<out_path>.quarantine.jsonl``.  Applies to parallel runs; a
+            serial run dies with its only process.
+        retry_backoff: Base delay in seconds before retrying a crashed cell
+            (doubled per subsequent crash of the same cell); ``0`` retries
+            immediately (the hook crash tests use).
 
     Returns:
         A :class:`RunSummary`; ``rows`` is in canonical grid order and, when
@@ -320,18 +559,27 @@ def run_spec(
 
     computed: Dict[str, Dict[str, object]] = {}
     profile_sections: List[str] = []
+    retried_cells = 0
+    quarantine_rows: List[Dict[str, object]] = []
     try:
         if pending:
             if workers > 1:
-                with multiprocessing.Pool(processes=workers) as pool:
-                    results = pool.imap_unordered(_execute_cell, pending)
-                    for row in results:
-                        computed[row["cell_id"]] = row
-                        if handle is not None:
-                            handle.write(dump_row(row) + "\n")
-                            handle.flush()
-                        if progress is not None:
-                            progress(row)
+
+                def emit(row: Dict[str, object]) -> None:
+                    computed[row["cell_id"]] = row
+                    if handle is not None:
+                        handle.write(dump_row(row) + "\n")
+                        handle.flush()
+                    if progress is not None:
+                        progress(row)
+
+                retried_cells, quarantine_rows = _run_supervised(
+                    pending,
+                    workers,
+                    emit,
+                    max_cell_retries=max_cell_retries,
+                    retry_backoff=retry_backoff,
+                )
             else:
                 for cell in pending:
                     if profile:
@@ -366,6 +614,17 @@ def run_spec(
         with open(profile_path, "w", encoding="utf-8") as profile_handle:
             profile_handle.write("".join(profile_sections))
 
+    quarantine_path = None
+    if out_path:
+        candidate = out_path + ".quarantine.jsonl"
+        if quarantine_rows:
+            _write_rows_atomically(candidate, quarantine_rows)
+            quarantine_path = candidate
+        elif os.path.exists(candidate):
+            # This run completed every previously quarantined cell: a stale
+            # quarantine file would misreport the sweep as degraded.
+            os.remove(candidate)
+
     return RunSummary(
         spec_name=spec.name,
         rows=rows,
@@ -375,4 +634,7 @@ def run_spec(
         out_path=out_path,
         discarded_rows=discarded,
         profile_path=profile_path,
+        retried_cells=retried_cells,
+        quarantined_cells=len(quarantine_rows),
+        quarantine_path=quarantine_path,
     )

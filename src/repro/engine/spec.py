@@ -20,6 +20,7 @@ from typing import Dict, List, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.graph.connectivity import meets_connectivity_requirement
+from repro.sched.faults import named_fault_plans
 from repro.sched.links import named_link_models
 from repro.types import NodeId
 from repro.workloads.scenarios import (
@@ -86,6 +87,7 @@ class Cell:
     faulty_nodes: Tuple[NodeId, ...]
     execution: str = SEQUENTIAL
     link_model: str = "instant"
+    fault_plan: str = "none"
 
     def scenario(self) -> Scenario:
         """Build the fully specified scenario for this cell."""
@@ -129,6 +131,9 @@ class ExperimentSpec:
         link_models: Named link models (see
             :func:`repro.sched.links.named_link_models`) the scheduled
             transport applies; ``"instant"`` is the paper's base model.
+        fault_plans: Named link-fault plans (see
+            :func:`repro.sched.faults.named_fault_plans`) the ARQ transport
+            applies; ``"none"`` is the paper's reliable base model.
         instances: Number of broadcast instances per cell (``Q``).
         source: The broadcasting node (the paper uses node 1).
         base_seed: Root seed all per-cell seeds are derived from.
@@ -143,6 +148,7 @@ class ExperimentSpec:
     protocols: Tuple[str, ...]
     executions: Tuple[str, ...] = (SEQUENTIAL,)
     link_models: Tuple[str, ...] = ("instant",)
+    fault_plans: Tuple[str, ...] = ("none",)
     instances: int = 3
     source: NodeId = 1
     base_seed: int = 0
@@ -191,6 +197,13 @@ class ExperimentSpec:
                     f"spec {self.name!r} references unknown link model {model!r}; "
                     f"available: {', '.join(sorted(known_models))}"
                 )
+        known_plans = set(named_fault_plans())
+        for plan in self.fault_plans:
+            if plan not in known_plans:
+                raise ConfigurationError(
+                    f"spec {self.name!r} references unknown fault plan {plan!r}; "
+                    f"available: {', '.join(sorted(known_plans))}"
+                )
         cells: List[Cell] = []
         feasibility: Dict[Tuple[str, int], bool] = {}
         node_lists: Dict[str, List[NodeId]] = {}
@@ -219,35 +232,43 @@ class ExperimentSpec:
                                 ):
                                     continue
                                 for model in self.link_models:
-                                    cell_id = (
-                                        f"{protocol}|{topology_name}|{strategy}"
-                                        f"|f={max_faults}|L={payload}|Q={self.instances}"
-                                        f"|src={self.source}"
-                                    )
-                                    # Non-default axis values are appended so
-                                    # default-grid cell ids (and hence their
-                                    # derived seeds and any previously
-                                    # persisted results) stay exactly as they
-                                    # were before these axes existed.
-                                    if execution != SEQUENTIAL:
-                                        cell_id += f"|exec={execution}"
-                                    if model != "instant":
-                                        cell_id += f"|lm={model}"
-                                    cells.append(
-                                        Cell(
-                                            spec_name=self.name,
-                                            cell_id=cell_id,
-                                            topology=topology_name,
-                                            strategy=strategy,
-                                            payload_bytes=payload,
-                                            instances=self.instances,
-                                            max_faults=max_faults,
-                                            protocol=protocol,
-                                            source=self.source,
-                                            seed=cell_seed(self.base_seed, cell_id),
-                                            faulty_nodes=faulty,
-                                            execution=execution,
-                                            link_model=model,
+                                    for plan in self.fault_plans:
+                                        cell_id = (
+                                            f"{protocol}|{topology_name}|{strategy}"
+                                            f"|f={max_faults}|L={payload}"
+                                            f"|Q={self.instances}"
+                                            f"|src={self.source}"
                                         )
-                                    )
+                                        # Non-default axis values are appended
+                                        # so default-grid cell ids (and hence
+                                        # their derived seeds and any
+                                        # previously persisted results) stay
+                                        # exactly as they were before these
+                                        # axes existed.
+                                        if execution != SEQUENTIAL:
+                                            cell_id += f"|exec={execution}"
+                                        if model != "instant":
+                                            cell_id += f"|lm={model}"
+                                        if plan != "none":
+                                            cell_id += f"|fp={plan}"
+                                        cells.append(
+                                            Cell(
+                                                spec_name=self.name,
+                                                cell_id=cell_id,
+                                                topology=topology_name,
+                                                strategy=strategy,
+                                                payload_bytes=payload,
+                                                instances=self.instances,
+                                                max_faults=max_faults,
+                                                protocol=protocol,
+                                                source=self.source,
+                                                seed=cell_seed(
+                                                    self.base_seed, cell_id
+                                                ),
+                                                faulty_nodes=faulty,
+                                                execution=execution,
+                                                link_model=model,
+                                                fault_plan=plan,
+                                            )
+                                        )
         return cells

@@ -148,6 +148,34 @@ register_spec(
 
 register_spec(
     ExperimentSpec(
+        name="lossy_links",
+        topologies=("k4-fast", "bottleneck4", "ring7-chords"),
+        strategies=(FAULT_FREE,),
+        payload_bytes=(8,),
+        fault_counts=(1,),
+        protocols=("nab", "classical-flooding"),
+        fault_plans=(
+            "none",
+            "drop-1pct",
+            "drop-10pct",
+            "drop-10pct-one-edge",
+            "dup-mild",
+        ),
+        instances=4,
+        description=(
+            "Unreliable links under ARQ retransmission: the headline "
+            "topologies across the named drop/duplicate fault plans, NAB vs "
+            "classical flooding (30 cells).  The none column is the reliable "
+            "baseline; every lossy cell must still satisfy "
+            "agreement/validity (dead links degrade to omissions) and "
+            "reports its retransmission overhead in "
+            "record.metadata.reliability."
+        ),
+    )
+)
+
+register_spec(
+    ExperimentSpec(
         name="latency_models",
         # 7-node topologies only: the lan-wan model's slow links touch node 7,
         # so smaller graphs would silently degenerate to uniform latency.

@@ -7,12 +7,23 @@
 * :mod:`repro.sched.links` — :class:`LinkModel` propagation-delay models
   (uniform latency, per-link heterogeneity, deterministic jitter) plus the
   name-keyed registry experiment specs reference.
+* :mod:`repro.sched.faults` — :class:`LinkFaultPlan` seeded link-fault
+  schedules (deterministic drop/duplicate/corrupt per wire attempt) with the
+  same registry pattern; the ARQ transport in
+  :mod:`repro.transport.reliable` consumes them.
 
 The transport built on this kernel lives in
 :mod:`repro.transport.scheduled` (:class:`ScheduledNetwork`) and the
 pipelined NAB executor in :mod:`repro.core.pipeline`.
 """
 
+from repro.sched.faults import (
+    EdgeFaultRates,
+    LinkFaultPlan,
+    fault_plan,
+    named_fault_plans,
+    register_fault_plan,
+)
 from repro.sched.kernel import (
     EventQueue,
     Task,
@@ -37,4 +48,9 @@ __all__ = [
     "link_model",
     "named_link_models",
     "register_link_model",
+    "EdgeFaultRates",
+    "LinkFaultPlan",
+    "fault_plan",
+    "named_fault_plans",
+    "register_fault_plan",
 ]

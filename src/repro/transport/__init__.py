@@ -21,12 +21,17 @@ enforces exactly that model:
   driven by the discrete-event kernel of :mod:`repro.sched`: per-link FIFO
   drains, optional propagation latency/jitter, and a measured clock that
   equals the accountant's analytical total exactly in the zero-latency case.
+* :class:`repro.transport.reliable.ReliableNetwork` — ARQ retransmission
+  (timeout, exponential backoff, bounded retries, dead-link = omission) over a
+  seeded :class:`repro.sched.faults.LinkFaultPlan`; bit-identical to
+  ``ScheduledNetwork`` when the plan is clean.
 """
 
 from repro.transport.accounting import TimeAccountant
 from repro.transport.faults import ByzantineStrategy, FaultModel
 from repro.transport.message import Message
 from repro.transport.network import NetworkFactory, SynchronousNetwork
+from repro.transport.reliable import DeadLetter, ReliableNetwork
 from repro.transport.scheduled import DeliveryTiming, PhaseSegment, ScheduledNetwork
 
 __all__ = [
@@ -34,6 +39,8 @@ __all__ = [
     "TimeAccountant",
     "SynchronousNetwork",
     "ScheduledNetwork",
+    "ReliableNetwork",
+    "DeadLetter",
     "NetworkFactory",
     "PhaseSegment",
     "DeliveryTiming",

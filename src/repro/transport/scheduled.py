@@ -107,6 +107,13 @@ class ScheduledNetwork(SynchronousNetwork):
         #: and fixed overhead come from the accountant (the single ledger),
         #: so charges made directly on it are always reflected here.
         self._phase_messages: Dict[str, List[Tuple[Edge, int, int]]] = {}
+        #: Per-network wire ordinal: one per transmission that occupies a
+        #: link, in scheduling order.  Equals ``len(self._delivered) - 1`` as
+        #: long as every wire transmission delivers exactly one message —
+        #: subclasses that put *extra* copies on the wire (retransmissions,
+        #: duplicates) consume ordinals of their own via
+        #: :meth:`_next_wire_ordinal`, keeping jitter keys unique.
+        self._wire_sequence = 0
         self._replayed_key: object = None
         self._replay_cache: Tuple[List[PhaseSegment], List[DeliveryTiming], Fraction] = (
             [],
@@ -133,14 +140,30 @@ class ScheduledNetwork(SynchronousNetwork):
         :meth:`delivery_timeline`.
         """
         message = super().send(sender, receiver, payload, bit_size, phase, kind)
-        # The per-network ordinal (not Message.sequence, which is process
-        # global) keys the deterministic jitter, so two identical runs see
-        # identical delays.
-        ordinal = len(self._delivered) - 1
-        self._phase_messages.setdefault(phase, []).append(
-            ((sender, receiver), bit_size, ordinal)
-        )
+        # The per-network wire ordinal (not Message.sequence, which is
+        # process global) keys the deterministic jitter, so two identical
+        # runs see identical delays.
+        self._log_wire_item(phase, (sender, receiver), bit_size)
         return message
+
+    def _next_wire_ordinal(self) -> int:
+        """Allocate the next per-network wire ordinal (the jitter key)."""
+        ordinal = self._wire_sequence
+        self._wire_sequence += 1
+        return ordinal
+
+    def _log_wire_item(self, phase: str, edge: Edge, bits: int) -> int:
+        """Append one wire transmission to its round's FIFO; returns its ordinal.
+
+        Every call must be paired with exactly one accountant charge of the
+        same ``(phase, edge, bits)`` so the measured and analytical clocks
+        keep agreeing at zero latency.  :meth:`send` pairs it with the
+        inherited delivery; the ARQ subclass pairs it with the ledger charges
+        of retransmitted and duplicated copies.
+        """
+        ordinal = self._next_wire_ordinal()
+        self._phase_messages.setdefault(phase, []).append((edge, bits, ordinal))
+        return ordinal
 
     def charge_fixed_overhead(self, phase: str, time_units: Fraction | int) -> None:
         """Charge link-independent time to ``phase`` on both clocks.
@@ -162,11 +185,11 @@ class ScheduledNetwork(SynchronousNetwork):
         timeline is ordered deterministically by ``(arrival, scheduling
         order)`` — exactly what an event queue would produce.
         """
-        # Sends grow the message count, positive overhead charges grow the
-        # total, and a zero-valued charge can still register a new phase —
-        # the triple keys the memo soundly.
+        # Wire transmissions grow the ordinal counter, positive overhead
+        # charges grow the total, and a zero-valued charge can still register
+        # a new phase — the triple keys the memo soundly.
         key = (
-            len(self._delivered),
+            self._wire_sequence,
             len(self.accountant.phase_names()),
             self.accountant.total_fixed_overhead(),
         )

@@ -9,19 +9,24 @@ from __future__ import annotations
 
 import json
 import os
+import signal
 
 import pytest
 
 from repro.engine import (
     ExperimentSpec,
     FAULT_FREE,
+    Protocol,
     dump_row,
+    get_protocol,
     get_spec,
     named_specs,
     render_comparison,
     run_spec,
     summarize_rows,
 )
+from repro.engine.protocol import _REGISTRY
+from repro.engine.runner import _write_rows_atomically
 from repro.engine.spec import cell_seed
 from repro.exceptions import ConfigurationError
 
@@ -281,6 +286,186 @@ class TestParallelRunner:
         summary = run_spec(SMALL_SPEC, out_path=parallel_out, workers=2, resume=False)
         assert summary.computed_cells == 12
         assert _read_bytes(parallel_out) == _read_bytes(serial_out)
+
+
+class _CrashUntilSentinel(Protocol):
+    """A protocol that SIGKILLs its own worker until a sentinel file exists.
+
+    Each death leaves one more marker file behind, so ``crashes`` controls how
+    many times the cell takes its worker down before succeeding (delegating to
+    NAB); registered under a throwaway name per test via ``monkeypatch``.
+    Workers inherit the registration through ``fork``.
+    """
+
+    def __init__(self, name: str, marker_dir: str, crashes: int) -> None:
+        self.name = name
+        self.marker_dir = marker_dir
+        self.crashes = crashes
+
+    def run(self, graph, source, inputs, fault_model, params):
+        died = len(
+            [entry for entry in os.listdir(self.marker_dir) if entry.startswith("died")]
+        )
+        if died < self.crashes:
+            with open(os.path.join(self.marker_dir, f"died{died}"), "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return get_protocol("nab").run(graph, source, inputs, fault_model, params)
+
+
+def _crash_spec(protocol_name: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="unit_crash",
+        topologies=("k4-fast",),
+        strategies=(FAULT_FREE,),
+        payload_bytes=(4,),
+        fault_counts=(1,),
+        protocols=(protocol_name, "nab"),
+        instances=2,
+    )
+
+
+class TestCrashTolerantWorkers:
+    def test_sigkilled_worker_is_respawned_and_sweep_completes(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        monkeypatch.setitem(
+            _REGISTRY, "crash-once", _CrashUntilSentinel("crash-once", str(marker), 1)
+        )
+        spec = _crash_spec("crash-once")
+        out = str(tmp_path / "rows.jsonl")
+        summary = run_spec(spec, out_path=out, workers=2, retry_backoff=0)
+        assert summary.computed_cells == summary.total_cells == 2
+        assert summary.retried_cells == 1
+        assert summary.quarantined_cells == 0
+        assert summary.quarantine_path is None
+        assert all(row["error"] is None for row in summary.rows)
+
+    def test_crash_recovered_run_is_byte_identical_to_undisturbed(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        monkeypatch.setitem(
+            _REGISTRY, "crash-once", _CrashUntilSentinel("crash-once", str(marker), 1)
+        )
+        spec = _crash_spec("crash-once")
+        crashed_out = str(tmp_path / "crashed.jsonl")
+        run_spec(spec, out_path=crashed_out, workers=2, retry_backoff=0)
+        # Same grid, markers already placed: no worker dies this time.
+        clean_out = str(tmp_path / "clean.jsonl")
+        clean = run_spec(spec, out_path=clean_out, workers=2, retry_backoff=0)
+        assert clean.retried_cells == 0
+        assert _read_bytes(crashed_out) == _read_bytes(clean_out)
+
+    def test_persistent_crasher_is_quarantined_not_fatal(self, tmp_path, monkeypatch):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        monkeypatch.setitem(
+            _REGISTRY,
+            "crash-always",
+            _CrashUntilSentinel("crash-always", str(marker), 99),
+        )
+        spec = _crash_spec("crash-always")
+        out = str(tmp_path / "rows.jsonl")
+        summary = run_spec(
+            spec, out_path=out, workers=2, retry_backoff=0, max_cell_retries=1
+        )
+        # The healthy cell completed; the crasher was quarantined.
+        assert summary.computed_cells == 1
+        assert summary.quarantined_cells == 1
+        assert summary.quarantine_path == out + ".quarantine.jsonl"
+        with open(summary.quarantine_path, encoding="utf-8") as handle:
+            (quarantined,) = [json.loads(line) for line in handle]
+        assert quarantined["cell_id"].startswith("crash-always|")
+        assert quarantined["attempts"] == 2  # first attempt + 1 retry
+        assert quarantined["worker_exitcodes"] == [-9, -9]
+        assert "WorkerCrash" in quarantined["error"]
+        # The main JSONL holds only real rows.
+        with open(out, encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle]
+        assert [row["cell_id"] for row in rows] == [
+            cell.cell_id for cell in spec.expand() if cell.protocol == "nab"
+        ]
+
+    def test_resume_completes_quarantined_cells_and_clears_the_file(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        # Dies twice, then succeeds — but the first run only tolerates one
+        # retry, so the cell lands in quarantine.
+        crasher = _CrashUntilSentinel("crash-twice", str(marker), 2)
+        monkeypatch.setitem(_REGISTRY, "crash-twice", crasher)
+        spec = _crash_spec("crash-twice")
+        out = str(tmp_path / "rows.jsonl")
+        first = run_spec(
+            spec, out_path=out, workers=2, retry_backoff=0, max_cell_retries=1
+        )
+        assert first.quarantined_cells == 1
+        assert os.path.exists(out + ".quarantine.jsonl")
+        # Resume: the quarantined cell is simply pending again, succeeds now,
+        # and the stale quarantine file is cleared.
+        second = run_spec(spec, out_path=out, workers=2, retry_backoff=0)
+        assert second.computed_cells == 1
+        assert second.quarantined_cells == 0
+        assert not os.path.exists(out + ".quarantine.jsonl")
+        # The final file equals an undisturbed run of the same grid.
+        clean_out = str(tmp_path / "clean.jsonl")
+        run_spec(spec, out_path=clean_out, workers=2, retry_backoff=0)
+        assert _read_bytes(out) == _read_bytes(clean_out)
+
+
+class TestCrashSafeCompaction:
+    def test_kill_between_write_and_rename_preserves_the_file(
+        self, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "rows.jsonl")
+        _write_rows_atomically(path, [{"a": 1}, {"b": 2}])
+        before = _read_bytes(path)
+
+        # Simulate a SIGKILL landing mid-compaction: the fsync (the last step
+        # before the rename) never returns.
+        def killed(fd):
+            raise KeyboardInterrupt("killed mid-compaction")
+
+        monkeypatch.setattr(os, "fsync", killed)
+        with pytest.raises(KeyboardInterrupt):
+            _write_rows_atomically(path, [{"c": 3}])
+        assert _read_bytes(path) == before
+        assert not os.path.exists(path + ".tmp")
+
+    def test_tmp_file_is_fsynced_before_the_rename(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda src, dst: (events.append("replace"), real_replace(src, dst))[1],
+        )
+        path = str(tmp_path / "rows.jsonl")
+        _write_rows_atomically(path, [{"a": 1}])
+        # File-content fsync strictly precedes the rename (the trailing fsync
+        # is the best-effort directory sync).
+        assert events[0] == "fsync"
+        assert "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_failed_write_cleans_up_its_tmp_file(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "rows.jsonl")
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            _write_rows_atomically(path, [{"bad": Unserialisable()}])
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
 
 
 class TestCli:

@@ -161,6 +161,92 @@ class TestLatencyAndJitter:
         assert run() > Fraction(5, 1)  # latency strictly exceeds the drain time
 
 
+class TestWireOrdinals:
+    """Edge cases the fault layer leans on: phantom wire copies must get
+    jitter ordinals of their own, overhead must respect phase barriers, and
+    per-phase FIFOs must drain in send order even when phases interleave."""
+
+    def test_duplicated_copies_consume_unique_jitter_ordinals(self, graph):
+        from repro.sched.faults import DUPLICATE, EdgeFaultRates, LinkFaultPlan
+        from repro.transport import ReliableNetwork
+
+        class AlwaysDuplicate(LinkFaultPlan):
+            def decide(self, edge, attempt):
+                return DUPLICATE
+
+        plan = AlwaysDuplicate(
+            name="dup", rates=EdgeFaultRates(duplicate=Fraction(1))
+        )
+
+        def run():
+            network = ReliableNetwork(
+                graph,
+                link_model=LinkModel(
+                    name="j", latency=Fraction(1), jitter=Fraction(1), seed=9
+                ),
+                fault_plan=plan,
+            )
+            for _ in range(3):
+                network.send(1, 2, b"x", 2, "p")
+            return network
+
+        network = run()
+        timeline = network.delivery_timeline()
+        # 3 deliveries + 3 redundant copies, each with its own wire ordinal —
+        # no two wire items may share a jitter key.
+        sequences = [timing.sequence for timing in timeline]
+        assert sorted(sequences) == list(range(6))
+        # And the jittered schedule is reproducible run to run.
+        assert run().elapsed_time() == network.elapsed_time()
+
+    def test_fixed_overhead_delays_the_next_phase_barrier(self, graph):
+        network = ScheduledNetwork(graph)
+        network.send(1, 2, b"x", 10, "p1")  # drains at 5
+        network.charge_fixed_overhead("p1", Fraction(4))
+        network.send(1, 2, b"y", 2, "p2")  # drains in 1
+        segments = network.phase_segments()
+        assert segments[0].end == Fraction(9)
+        assert segments[1].start == Fraction(9)
+        assert network.elapsed_time() == Fraction(10)
+        assert network.elapsed_time() == network.accountant.total_elapsed()
+
+    def test_overhead_on_a_later_phase_never_shifts_an_earlier_one(self, graph):
+        network = ScheduledNetwork(graph)
+        network.send(1, 2, b"x", 10, "p1")
+        network.send(1, 2, b"y", 10, "p2")
+        network.charge_fixed_overhead("p2", Fraction(3))
+        segments = network.phase_segments()
+        assert segments[0].end == Fraction(5)
+        assert segments[1].end == Fraction(13)
+
+    def test_interleaved_phases_drain_each_fifo_in_send_order(self, graph):
+        network = ScheduledNetwork(graph)
+        # Alternate two phase names on one link: each phase's FIFO must keep
+        # its own send order, independent of the global send interleaving.
+        network.send(1, 2, b"a1", 2, "round1")
+        network.send(1, 2, b"b1", 4, "round2")
+        network.send(1, 2, b"a2", 6, "round1")
+        network.send(1, 2, b"b2", 8, "round2")
+        by_phase = {}
+        for timing in network.delivery_timeline():
+            by_phase.setdefault(timing.phase, []).append(timing)
+        round1, round2 = by_phase["round1"], by_phase["round2"]
+        # round1: 2 bits then 6 bits at capacity 2, starting at t=0.
+        assert [(t.departure, t.arrival) for t in round1] == [
+            (Fraction(0), Fraction(1)),
+            (Fraction(1), Fraction(4)),
+        ]
+        # round2 starts at the barrier (t=4) and keeps its own order.
+        assert [(t.departure, t.arrival) for t in round2] == [
+            (Fraction(4), Fraction(6)),
+            (Fraction(6), Fraction(10)),
+        ]
+        # Within each phase the wire ordinals are increasing (FIFO).
+        assert [t.sequence for t in round1] == sorted(t.sequence for t in round1)
+        assert [t.sequence for t in round2] == sorted(t.sequence for t in round2)
+        assert network.elapsed_time() == network.accountant.total_elapsed()
+
+
 class TestSchedulerContract:
     """The satellite property: measured clock == analytical oracle at zero latency."""
 
