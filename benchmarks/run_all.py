@@ -19,9 +19,31 @@ the freshly written ``BENCH_*.json`` files against the versions committed at
 from __future__ import annotations
 
 import glob
+import json
 import os
 import subprocess
 import sys
+
+
+def check_artifacts(bench_dir: str) -> list:
+    """Names of ``BENCH_*.json`` artifacts with an empty ``suites`` dict.
+
+    A suite module that collects zero measurements (e.g. every sub-benchmark
+    skipped or a refactor renamed the recording calls) still writes a
+    syntactically valid artifact — which would silently truncate the trend
+    history.  The runner treats any such file as a failure.
+    """
+    offenders = []
+    for path in sorted(glob.glob(os.path.join(bench_dir, "BENCH_*.json"))):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            offenders.append(os.path.basename(path))
+            continue
+        if not payload.get("suites"):
+            offenders.append(os.path.basename(path))
+    return offenders
 
 
 def main(argv=None) -> int:
@@ -51,6 +73,14 @@ def main(argv=None) -> int:
         if completed.returncode != 0:
             failures.append(name)
 
+    empty = check_artifacts(bench_dir)
+    if empty:
+        print(
+            "benchmark artifact(s) with an empty 'suites' dict (no measurements "
+            f"recorded): {', '.join(empty)}",
+            file=sys.stderr,
+        )
+
     if compare:
         # Informational trend report; failures here must never fail the run.
         print("=== compare vs committed baselines", flush=True)
@@ -62,6 +92,8 @@ def main(argv=None) -> int:
 
     if failures:
         print(f"{len(failures)} benchmark suite(s) FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    if empty:
         return 1
     print(f"all {len(suites)} benchmark suites passed")
     return 0

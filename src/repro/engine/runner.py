@@ -45,6 +45,7 @@ from repro.coding.verification import clear_verification_cache
 from repro.engine.protocol import get_protocol
 from repro.engine.spec import Cell, ExperimentSpec
 from repro.exceptions import ConfigurationError
+from repro.gf.field import clear_kernel_caches
 from repro.graph.flow_cache import clear_mincut_cache
 from repro.graph.spanning_trees import clear_pack_cache
 from repro.sched.faults import fault_plan
@@ -165,6 +166,9 @@ def _execute_cell(cell: Cell) -> Dict[str, object]:
     packings, relay paths, coding-scheme rank verdicts) are keyed on
     canonical graph signatures, so clearing them is about memory, not
     correctness; cells arrive grouped by topology, so the clears are rare.
+    The GF kernel operand caches (spread operands, FFT spectra) are dropped
+    on the same cadence — a new topology means new coding matrices, so the
+    old operands will not recur.
     """
     global _LAST_TOPOLOGY
     if cell.topology != _LAST_TOPOLOGY:
@@ -172,6 +176,7 @@ def _execute_cell(cell: Cell) -> Dict[str, object]:
         clear_pack_cache()
         clear_relay_path_cache()
         clear_verification_cache()
+        clear_kernel_caches()
         _LAST_TOPOLOGY = cell.topology
     return run_cell(cell)
 
@@ -532,6 +537,14 @@ def run_spec(
     if profile:
         workers = 1
     cells = spec.expand()
+    forced_backend = False
+    if spec.kernel_backend and not os.environ.get("REPRO_GF_BACKEND"):
+        # Spec-level backend override, propagated through the environment so
+        # spawned worker processes inherit it; an explicit REPRO_GF_BACKEND
+        # set by the operator wins over the spec value.  Restored on exit so
+        # back-to-back sweeps in one process do not leak the override.
+        os.environ["REPRO_GF_BACKEND"] = spec.kernel_backend
+        forced_backend = True
     completed: Dict[str, Dict[str, object]] = {}
     discarded = 0
     if out_path and resume:
@@ -598,6 +611,8 @@ def run_spec(
     finally:
         if handle is not None:
             handle.close()
+        if forced_backend:
+            os.environ.pop("REPRO_GF_BACKEND", None)
 
     available = dict(completed)
     available.update(computed)

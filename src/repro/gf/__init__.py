@@ -24,6 +24,23 @@ Performance notes:
     original bit-serial polynomial arithmetic is retained on every field as
     the correctness oracle for tests.
 
+Kernel backends:
+    The raw carry-less multiply behind every big-field operation is pluggable
+    through the registry in :mod:`repro.gf.backends`.  Four backends ship:
+    ``bitserial`` (the frozen oracle), ``windowed`` (the default below degree
+    4096), ``bitspread`` (guard-bit Kronecker substitution onto one native
+    ``int.__mul__``) and ``numpy`` (FFT-based carry-less convolution,
+    auto-selected from degree 4096 when numpy is importable).  Selection
+    happens once per field at construction — explicit
+    ``get_field(degree, kernel_backend=...)`` argument beats the
+    ``REPRO_GF_BACKEND`` environment variable beats the degree-based
+    auto-crossover — and is sticky for the cached field instance.
+    ``GF2m.describe()`` reports the choice.  To add a backend, subclass
+    ``KernelBackend``, implement ``clmul`` (and optionally the vector hooks),
+    and call ``register_backend``; the conformance suite in
+    ``tests/test_gf_backends.py`` automatically pits every registered backend
+    against the bit-serial oracles.
+
 Public surface:
 
 * :class:`repro.gf.field.GF2m` — a field of characteristic 2 and arbitrary

@@ -1,0 +1,655 @@
+"""Pluggable carry-less multiplication kernel backends for big ``GF(2^m)`` fields.
+
+Every field of degree > 16 runs its carry-less products through a *kernel
+backend* selected at construction time (:func:`create_backend`, called from
+``GF2m.__init__`` / :func:`repro.gf.field.get_field`).  A backend supplies the
+raw (unreduced) product primitive — scalar and stacked — and may additionally
+take over whole vector/matrix operations; everything downstream (chunked
+modular reduction, slot packing, the protocol) is backend-agnostic, and every
+backend computes bit-identical values, so swapping backends can never change
+experiment results, only their wall-clock cost.
+
+Registered backends:
+
+``bitserial``
+    The frozen shift/XOR oracle (:func:`repro.gf.polynomials.poly_mul`).
+    Never selected automatically; exists so the conformance suite and the
+    benchmarks always have the reference implementation addressable by name.
+
+``windowed``
+    The PR 4/5 kernels: cached 8-bit window tables scanned byte-by-byte,
+    stacked guard-spaced batches, fused vector-matrix passes.  The default
+    for every big field below the numpy crossover degree.
+
+``bitspread``
+    Kronecker-substitution multiply on native big integers: both operands are
+    bit-spread ``factor`` positions apart (:func:`polynomials.bit_spread`),
+    multiplied with one ``int.__mul__``, and the XOR convolution read back
+    with a mask-and-compact pass.  Spread operands are cached per field under
+    a byte-accurate budget.  On CPython's 30-bit-digit Karatsuba bignum
+    multiply the ``factor``-fold operand blowup costs ``factor**1.58`` in the
+    multiply, which outweighs the windowed scan at every degree this repo
+    reaches — so this backend is a correctness/portability kernel (it wins on
+    GMP-class interpreter builds) and is never selected automatically here;
+    the measured crossover is recorded by ``benchmarks/bench_kernel_backends``.
+
+``numpy``
+    Auto-detected.  Carry-less products as real convolutions: operands unpack
+    to 0/1 float vectors, multiply under ``rfft``/``irfft``, and the product
+    coefficients' parities are exact because every convolution count is at
+    most ``m`` — far inside float64's 2^53 integer range.  The win is the
+    batched ``vecmat`` encode: one forward FFT per symbol, a cached (budget
+    permitting) or streamed spectrum per matrix row, one inverse FFT per
+    column — this is what pushes the ``huge_payloads`` grid to 256 KB values.
+    Selected automatically for degrees >= :data:`NUMPY_MIN_DEGREE`.
+
+Selection precedence: an explicit ``kernel_backend=`` argument, then the
+``REPRO_GF_BACKEND`` environment variable, then the static crossover policy
+(:func:`auto_backend_name`).  The decision is made once per field and —
+because :func:`repro.gf.field.get_field` canonicalises instances — is sticky
+for the life of the process.
+
+Adding a backend: subclass :class:`KernelBackend`, implement ``clmul`` (and
+optionally ``clmul_stacked`` / ``vecmat`` / ``dot_vec`` / ``mul_vec`` /
+``cache_stats`` / ``clear_caches``), then call :func:`register_backend`.  The
+conformance tests in ``tests/test_gf_backends.py`` run against every
+registered name, so a new backend is property-tested against the bit-serial
+oracles for free.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.exceptions import FieldError
+from repro.gf.polynomials import (
+    bit_spread,
+    compact_spread_product,
+    poly_mul,
+    spread_factor_for,
+)
+
+try:  # pragma: no cover - exercised implicitly by backend availability
+    import numpy as _np
+except Exception:  # pragma: no cover - the container always has numpy
+    _np = None
+
+#: Environment variable overriding backend selection for newly built fields.
+ENV_BACKEND = "REPRO_GF_BACKEND"
+
+#: Static crossover: degrees at/above this auto-select the ``numpy`` backend
+#: (when importable).  Measured on the reference box (CPython 3.11, pocketfft)
+#: by ``benchmarks/bench_kernel_backends.py``: the FFT encode overtakes the
+#: stacked windowed pass between degrees 2048 and 4096 and is >= 3x from 4096.
+NUMPY_MIN_DEGREE = 4096
+
+#: Byte budget for the bitspread backend's per-field spread-operand cache.
+SPREAD_CACHE_BYTES = 8 << 20
+
+#: Byte budget for the numpy backend's per-field operand-spectrum cache.
+FFT_CACHE_BYTES = 8 << 20
+
+#: Largest per-matrix spectrum tensor (``rho x cols x K`` complex128) the
+#: numpy backend will cache on a matrix; bigger encodes stream the matrix
+#: spectra row-by-row instead (same values, no resident tensor).
+FFT_MATRIX_CACHE_BYTES = 48 << 20
+
+#: Degree at/above which the numpy backend computes *scalar* products by FFT;
+#: below it the windowed byte scan is faster (measured) and is delegated to.
+FFT_SCALAR_MIN_DEGREE = 16384
+
+
+class KernelBackend:
+    """Base class: the raw carry-less product primitive behind one field.
+
+    Subclasses override :meth:`clmul` (mandatory) and any of the optional
+    batched hooks.  A hook returning ``None`` means "no opinion": the caller
+    falls through to the generic windowed/stacked code path.  All hooks must
+    return exactly the values the frozen oracles produce.
+    """
+
+    #: Registry name; subclasses must override.
+    name = "abstract"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def __init__(self, field) -> None:
+        self.field = field
+
+    # -- mandatory primitive ------------------------------------------------
+    def clmul(self, a: int, b: int) -> int:
+        """The raw (unreduced) carry-less product of ``a`` and ``b``."""
+        raise NotImplementedError
+
+    # -- optional batched hooks --------------------------------------------
+    def clmul_stacked(self, stacked: int, factor: int, packed_bytes: int) -> int:
+        """Multiply a guard-spaced stacked batch by ``factor`` (raw result).
+
+        Carry-less multiplication distributes over slot concatenation, so the
+        default is simply :meth:`clmul` on the stacked integer.
+        """
+        return self.clmul(stacked, factor)
+
+    def vecmat(self, matrix, vector: Sequence[int]) -> Optional[List[int]]:
+        """Reduced ``vector @ matrix`` for a big field, or ``None`` to decline."""
+        return None
+
+    def dot_vec(self, left: Sequence[int], right: Sequence[int]) -> Optional[int]:
+        """Reduced inner product, or ``None`` to decline."""
+        return None
+
+    def mul_vec(self, left: Sequence[int], right: Sequence[int]) -> Optional[List[int]]:
+        """Reduced component-wise product, or ``None`` to decline."""
+        return None
+
+    # -- introspection ------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-cache counters (hits/misses/evictions/bytes) for this backend."""
+        return {}
+
+    def clear_caches(self) -> None:
+        """Drop operand caches (the runner calls this per topology switch)."""
+
+    def crossover(self) -> Dict[str, object]:
+        """The per-field kernel decisions, for ``GF2m.describe()``."""
+        return {}
+
+    def _stacked_vecmat(self, matrix, vector: Sequence[int]) -> List[int]:
+        """Generic stacked ``vector @ matrix`` riding this backend's primitive.
+
+        Mirrors the fused windowed pass' structure — per column window, XOR
+        the raw stacked products of every non-zero symbol, reduce once — but
+        each product goes through :meth:`clmul_stacked`, so any backend gets
+        the whole vector/matrix API by implementing only the primitive.
+        """
+        field = self.field
+        width = field._stride // 8
+        sizes, stacked_rows = matrix._stacked_rows()
+        stacked_mul = self.clmul_stacked
+        result: List[int] = []
+        for index, count in enumerate(sizes):
+            packed = count * width
+            accumulator = 0
+            for value, row_windows in zip(vector, stacked_rows):
+                if value:
+                    stacked = row_windows[index]
+                    if stacked:
+                        accumulator ^= stacked_mul(stacked, value, packed)
+            if accumulator:
+                result.extend(field._reduce_stacked(accumulator, count))
+            else:
+                result.extend([0] * count)
+        return result
+
+
+class BitSerialBackend(KernelBackend):
+    """The frozen shift/XOR oracle, addressable by name for conformance runs."""
+
+    name = "bitserial"
+
+    def clmul(self, a: int, b: int) -> int:
+        return poly_mul(a, b)
+
+    def crossover(self) -> Dict[str, object]:
+        return {"policy": "oracle (never selected automatically)"}
+
+
+class WindowedBackend(KernelBackend):
+    """The PR 4/5 windowed kernels; the field holds the actual machinery.
+
+    ``GF2m`` binds its own ``_windowed_clmul`` / ``_windowed_stacked_mul``
+    directly when this backend is selected (no per-call indirection), and the
+    fused vector-matrix scan stays in :meth:`GFMatrix._vecmat_big`; this class
+    only gives the machinery its registry name and delegating methods.
+    """
+
+    name = "windowed"
+
+    def clmul(self, a: int, b: int) -> int:
+        return self.field._windowed_clmul(a, b)
+
+    def clmul_stacked(self, stacked: int, factor: int, packed_bytes: int) -> int:
+        return self.field._windowed_stacked_mul(stacked, factor, packed_bytes)
+
+    def crossover(self) -> Dict[str, object]:
+        return {"policy": f"default below degree {NUMPY_MIN_DEGREE}"}
+
+
+class BitSpreadBackend(KernelBackend):
+    """Carry-less multiplication on the native big-integer multiplier.
+
+    The spread factor is fixed per field: every product this field ever forms
+    has one operand of at most ``degree`` bits (the scalar side, even in the
+    stacked case), so convolution counts are bounded by ``degree`` and
+    :func:`spread_factor_for` picks the one power-of-two slot width that
+    contains them.  Spread operands are cached per field with byte-accurate
+    accounting (``sys.getsizeof``) under :data:`SPREAD_CACHE_BYTES` — the
+    recurring operands are stacked coding-matrix rows, exactly the access
+    pattern of the PR 4/5 window-table caches.
+    """
+
+    name = "bitspread"
+
+    def __init__(self, field) -> None:
+        super().__init__(field)
+        self.factor = spread_factor_for(field.degree)
+        self._spread: Dict[int, int] = {}
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def _spread_of(self, value: int) -> int:
+        cached = self._spread.get(value)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        cached = bit_spread(value, self.factor)
+        cost = sys.getsizeof(cached)
+        if self._bytes + cost > SPREAD_CACHE_BYTES:
+            self._spread.clear()
+            self._bytes = 0
+            self._evictions += 1
+        self._spread[value] = cached
+        self._bytes += cost
+        return cached
+
+    def clmul(self, a: int, b: int) -> int:
+        if not a or not b:
+            return 0
+        return compact_spread_product(self._spread_of(a) * self._spread_of(b), self.factor)
+
+    def vecmat(self, matrix, vector: Sequence[int]) -> Optional[List[int]]:
+        return self._stacked_vecmat(matrix, vector)
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "spread": {
+                "entries": len(self._spread),
+                "bytes": self._bytes,
+                "budget_bytes": SPREAD_CACHE_BYTES,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+        }
+
+    def clear_caches(self) -> None:
+        self._spread.clear()
+        self._bytes = 0
+
+    def crossover(self) -> Dict[str, object]:
+        return {
+            "spread_factor": self.factor,
+            "policy": "explicit/env selection only (native multiply is "
+            "subquadratic but not GMP-class on this interpreter)",
+        }
+
+
+class NumpyBackend(KernelBackend):
+    """FFT convolution kernels over float64, exact by integrality of counts.
+
+    Scalar products below :data:`FFT_SCALAR_MIN_DEGREE` delegate to the
+    field's windowed scan (measured faster there); at and above it, and for
+    every ``vecmat`` / ``dot_vec`` / ``mul_vec``, products are computed as
+    real convolutions.  Convolution coefficients count at most ``min(len(a),
+    len(b)) <= m`` bit pairs, and pocketfft's float64 roundoff at these sizes
+    is orders of magnitude below the 0.5 rounding threshold, so ``rint``
+    recovers the exact counts and their parities are the carry-less product.
+
+    Caches, all per field and byte-accounted:
+
+    * operand spectra for scalar products (:data:`FFT_CACHE_BYTES`);
+    * one spectrum tensor per matrix (stored on the matrix, like its stacked
+      windows) when it fits :data:`FFT_MATRIX_CACHE_BYTES` — the benchmark
+      shapes do, the 256 KB ``huge_payloads`` encodes do not and stream
+      row-by-row instead.
+    """
+
+    name = "numpy"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _np is not None
+
+    def __init__(self, field) -> None:
+        if _np is None:  # pragma: no cover - guarded by available()
+            raise FieldError("numpy kernel backend requested but numpy is not importable")
+        super().__init__(field)
+        degree = field.degree
+        self._mbytes = (degree + 7) // 8
+        self._size = self._fft_size(2 * degree - 1)
+        self._fcache: Dict[int, object] = {}
+        self._fbytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._ctx_hits = 0
+        self._ctx_misses = 0
+        self._ctx_skips = 0
+
+    @staticmethod
+    def _fft_size(minimum: int) -> int:
+        """Smallest transform length ``2^k`` or ``3 * 2^k`` >= ``minimum``.
+
+        pocketfft is fast for both shapes; admitting the ``3 * 2^k`` sizes
+        saves up to 25% of spectrum traffic over pure powers of two.
+        """
+        size = 1
+        while size < minimum:
+            size <<= 1
+        if size >= 4 and (3 * size) // 4 >= minimum:
+            return (3 * size) // 4
+        return size
+
+    # -- bit packing --------------------------------------------------------
+    def _bits_of(self, value: int, length: int):
+        raw = value.to_bytes((length + 7) // 8, "little")
+        return _np.unpackbits(
+            _np.frombuffer(raw, dtype=_np.uint8), bitorder="little"
+        )[:length].astype(_np.float64)
+
+    def _rows_bits(self, values: Sequence[int], length: int):
+        """0/1 float matrix, one ``length``-bit row per value."""
+        width = (length + 7) // 8
+        raw = b"".join(value.to_bytes(width, "little") for value in values)
+        bits = _np.unpackbits(
+            _np.frombuffer(raw, dtype=_np.uint8).reshape(len(values), width),
+            axis=1,
+            bitorder="little",
+        )
+        return bits[:, :length].astype(_np.float64)
+
+    def _parity_int(self, counts) -> int:
+        bits = (counts & 1).astype(_np.uint8)
+        return int.from_bytes(
+            _np.packbits(bits, bitorder="little").tobytes(), "little"
+        )
+
+    # -- scalar product -----------------------------------------------------
+    def _spectrum_of(self, value: int):
+        cached = self._fcache.get(value)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        self._misses += 1
+        spectrum = _np.fft.rfft(self._bits_of(value, value.bit_length()), n=self._size)
+        cost = spectrum.nbytes + 64
+        if self._fbytes + cost > FFT_CACHE_BYTES:
+            self._fcache.clear()
+            self._fbytes = 0
+            self._evictions += 1
+        self._fcache[value] = spectrum
+        self._fbytes += cost
+        return spectrum
+
+    def _fft_clmul(self, a: int, b: int) -> int:
+        product = _np.fft.irfft(self._spectrum_of(a) * self._spectrum_of(b), n=self._size)
+        counts = _np.rint(product[: a.bit_length() + b.bit_length() - 1]).astype(_np.int64)
+        return self._parity_int(counts)
+
+    def clmul(self, a: int, b: int) -> int:
+        if not a or not b:
+            return 0
+        if self.field.degree < FFT_SCALAR_MIN_DEGREE:
+            return self.field._windowed_clmul(a, b)
+        return self._fft_clmul(a, b)
+
+    def clmul_stacked(self, stacked: int, factor: int, packed_bytes: int) -> int:
+        # Stacked batches keep the windowed scan: the FFT size would have to
+        # cover the whole packed window, forfeiting the cached-spectrum reuse
+        # that makes the scalar/batched paths win.
+        return self.field._windowed_stacked_mul(stacked, factor, packed_bytes)
+
+    # -- batched kernels ----------------------------------------------------
+    def _matrix_spectra(self, matrix, size: int):
+        """The cached ``(rows, cols, K)`` spectrum tensor, or ``None`` if too big.
+
+        Stored on the matrix itself (like its stacked windows) so it lives
+        and dies with the matrix; the budget check is remembered per matrix
+        to avoid re-deciding every encode.
+        """
+        ctx = matrix._kctx
+        if ctx is not None and ctx[0] == size:
+            if ctx[1] is not None:
+                self._ctx_hits += 1
+            return ctx[1]
+        rows, cols = matrix.rows, matrix.cols
+        spectrum_len = size // 2 + 1
+        tensor_bytes = rows * cols * spectrum_len * 16
+        if tensor_bytes > FFT_MATRIX_CACHE_BYTES:
+            self._ctx_skips += 1
+            matrix._kctx = (size, None)
+            return None
+        self._ctx_misses += 1
+        tensor = _np.empty((rows, cols, spectrum_len), dtype=_np.complex128)
+        degree = self.field.degree
+        for index, row in enumerate(matrix._data):
+            tensor[index] = _np.fft.rfft(self._rows_bits(row, degree), n=size, axis=1)
+        matrix._kctx = (size, tensor)
+        return tensor
+
+    def vecmat(self, matrix, vector: Sequence[int]) -> Optional[List[int]]:
+        field = self.field
+        degree = field.degree
+        size = self._size
+        cols = matrix.cols
+        vf = _np.fft.rfft(self._rows_bits(vector, degree), n=size, axis=1)
+        tensor = self._matrix_spectra(matrix, size)
+        if tensor is not None:
+            acc = _np.einsum("rk,rck->ck", vf, tensor)
+        else:
+            acc = _np.zeros((cols, size // 2 + 1), dtype=_np.complex128)
+            for index, row in enumerate(matrix._data):
+                if vector[index]:
+                    spectra = _np.fft.rfft(self._rows_bits(row, degree), n=size, axis=1)
+                    spectra *= vf[index]
+                    acc += spectra
+        convolved = _np.fft.irfft(acc, n=size, axis=1)[:, : 2 * degree - 1]
+        counts = _np.rint(convolved).astype(_np.int64)
+        reduce = field._reduce
+        result: List[int] = []
+        for column in range(cols):
+            raw = self._parity_int(counts[column])
+            result.append(reduce(raw) if raw else 0)
+        return result
+
+    def dot_vec(self, left: Sequence[int], right: Sequence[int]) -> Optional[int]:
+        if not left:
+            return 0
+        degree = self.field.degree
+        size = self._size
+        lf = _np.fft.rfft(self._rows_bits(left, degree), n=size, axis=1)
+        rf = _np.fft.rfft(self._rows_bits(right, degree), n=size, axis=1)
+        acc = _np.einsum("rk,rk->k", lf, rf)
+        counts = _np.rint(_np.fft.irfft(acc, n=size)[: 2 * degree - 1]).astype(_np.int64)
+        raw = self._parity_int(counts)
+        return self.field._reduce(raw) if raw else 0
+
+    def mul_vec(self, left: Sequence[int], right: Sequence[int]) -> Optional[List[int]]:
+        if not left:
+            return []
+        degree = self.field.degree
+        size = self._size
+        lf = _np.fft.rfft(self._rows_bits(left, degree), n=size, axis=1)
+        rf = _np.fft.rfft(self._rows_bits(right, degree), n=size, axis=1)
+        lf *= rf
+        counts = _np.rint(_np.fft.irfft(lf, n=size, axis=1)[:, : 2 * degree - 1]).astype(_np.int64)
+        reduce = self.field._reduce
+        out: List[int] = []
+        for index in range(len(left)):
+            raw = self._parity_int(counts[index])
+            out.append(reduce(raw) if raw else 0)
+        return out
+
+    # -- introspection ------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "fft_operands": {
+                "entries": len(self._fcache),
+                "bytes": self._fbytes,
+                "budget_bytes": FFT_CACHE_BYTES,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            },
+            "fft_matrices": {
+                "hits": self._ctx_hits,
+                "misses": self._ctx_misses,
+                "skips_over_budget": self._ctx_skips,
+                "budget_bytes": FFT_MATRIX_CACHE_BYTES,
+            },
+        }
+
+    def clear_caches(self) -> None:
+        self._fcache.clear()
+        self._fbytes = 0
+
+    def crossover(self) -> Dict[str, object]:
+        return {
+            "auto_selected_from_degree": NUMPY_MIN_DEGREE,
+            "scalar_fft_from_degree": FFT_SCALAR_MIN_DEGREE,
+            "fft_size": self._size,
+        }
+
+
+# ---------------------------------------------------------------- registry
+
+_REGISTRY: Dict[str, Type[KernelBackend]] = {}
+
+
+def register_backend(cls: Type[KernelBackend], replace: bool = False) -> None:
+    """Register a backend class under ``cls.name``.
+
+    Raises:
+        FieldError: if the name is already taken and ``replace`` is false.
+    """
+    name = cls.name
+    if not name or name == KernelBackend.name:
+        raise FieldError("kernel backends must define a distinct class-level name")
+    if name in _REGISTRY and not replace:
+        raise FieldError(f"kernel backend {name!r} is already registered")
+    _REGISTRY[name] = cls
+
+
+def backend_names() -> List[str]:
+    """All registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def available_backend_names() -> List[str]:
+    """Registered backends usable in this environment, sorted."""
+    return [name for name in backend_names() if _REGISTRY[name].available()]
+
+
+def backend_class(name: str) -> Type[KernelBackend]:
+    """Look up a registered backend class.
+
+    Raises:
+        FieldError: if the name is unknown.
+    """
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise FieldError(
+            f"unknown kernel backend {name!r}; registered: {', '.join(backend_names())}"
+        )
+    return cls
+
+
+def auto_backend_name(degree: int) -> str:
+    """The static crossover policy: windowed below, numpy at/above the threshold."""
+    if degree >= NUMPY_MIN_DEGREE and NumpyBackend.available():
+        return NumpyBackend.name
+    return WindowedBackend.name
+
+
+def resolve_backend_name(degree: int, requested: Optional[str] = None) -> Tuple[str, str]:
+    """Resolve the backend name for a new field of ``degree``.
+
+    Precedence: explicit ``requested`` argument, then the
+    :data:`ENV_BACKEND` environment variable, then :func:`auto_backend_name`.
+
+    Returns:
+        ``(name, selected_by)`` with ``selected_by`` one of ``"explicit"``,
+        ``"env"``, ``"auto"``.
+
+    Raises:
+        FieldError: if the requested/env name is unknown or unavailable.
+    """
+    if requested:
+        source = "explicit"
+        name = requested
+    else:
+        env = os.environ.get(ENV_BACKEND, "").strip()
+        if env:
+            source, name = "env", env
+        else:
+            return auto_backend_name(degree), "auto"
+    cls = backend_class(name)
+    if not cls.available():
+        raise FieldError(
+            f"kernel backend {name!r} is registered but unavailable in this "
+            f"environment (selected by {source})"
+        )
+    return name, source
+
+
+def create_backend(field, requested: Optional[str] = None) -> KernelBackend:
+    """Instantiate the backend for ``field`` per the selection precedence."""
+    name, source = resolve_backend_name(field.degree, requested)
+    backend = backend_class(name)(field)
+    backend.selected_by = source
+    return backend
+
+
+def measure_crossover(
+    degrees: Sequence[int] = (256, 1024, 4096),
+    repeats: int = 3,
+) -> Dict[int, Dict[str, float]]:
+    """Empirically time one scalar product per backend at each degree.
+
+    Returns ``{degree: {backend_name: best_seconds}}`` over the *available*
+    backends (``bitserial`` excluded above degree 4096 — the oracle's cost
+    there would dominate the measurement for no information).  Used by
+    ``benchmarks/bench_kernel_backends.py`` to record where the static
+    :data:`NUMPY_MIN_DEGREE` policy sits against reality on the current box.
+    """
+    import random
+
+    from repro.gf.field import GF2m
+
+    table: Dict[int, Dict[str, float]] = {}
+    for degree in degrees:
+        rng = random.Random(degree)
+        a = rng.getrandbits(degree) | (1 << (degree - 1))
+        b = rng.getrandbits(degree) | (1 << (degree - 1))
+        row: Dict[str, float] = {}
+        for name in available_backend_names():
+            if name == BitSerialBackend.name and degree > 4096:
+                continue
+            field = GF2m(degree, kernel_backend=name)
+            backend = field._kernel
+            backend.clmul(a, b)  # warm caches
+            best = None
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                backend.clmul(a, b)
+                elapsed = time.perf_counter() - start
+                if best is None or elapsed < best:
+                    best = elapsed
+            row[name] = best
+        table[degree] = row
+    return table
+
+
+register_backend(BitSerialBackend)
+register_backend(WindowedBackend)
+register_backend(BitSpreadBackend)
+register_backend(NumpyBackend)

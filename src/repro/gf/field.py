@@ -32,9 +32,11 @@ Example:
 from __future__ import annotations
 
 import random
+import sys
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import FieldError
+from repro.gf import backends as _backends
 from repro.gf.polynomials import (
     ReductionTable,
     irreducible_polynomial,
@@ -112,12 +114,25 @@ def _build_tables(degree: int, modulus: int) -> Tuple[List[int], List[int], List
     return exp, log, inv
 
 
-def get_field(degree: int, modulus: int | None = None) -> "GF2m":
+def get_field(
+    degree: int, modulus: int | None = None, kernel_backend: str | None = None
+) -> "GF2m":
     """A canonical shared :class:`GF2m` instance for ``(degree, modulus)``.
 
     Repeated calls with the same parameters return the *same* object, so its
     lazily built arithmetic tables (and any caller-side caches keyed on
     identity) are reused across coding schemes, instances and benchmarks.
+
+    The kernel backend (see :mod:`repro.gf.backends`) is resolved when the
+    canonical instance is first constructed and is *sticky* thereafter:
+    later calls — even under a different ``REPRO_GF_BACKEND`` environment —
+    return the already-built field unchanged.  Passing ``kernel_backend``
+    explicitly for a field that was canonicalised with a different backend
+    raises, rather than silently returning the other kernel.
+
+    Raises:
+        FieldError: on an invalid degree/modulus, an unknown or unavailable
+            backend name, or a backend conflict with the cached instance.
     """
     if degree < 1:
         raise FieldError(f"field degree must be >= 1, got {degree}")
@@ -134,8 +149,17 @@ def get_field(degree: int, modulus: int | None = None) -> "GF2m":
         # Construct through the default path when the caller did not supply
         # a modulus: an explicit modulus is re-validated for irreducibility,
         # which is prohibitively slow for large degrees.
-        field = GF2m(degree) if default else GF2m(degree, modulus)
+        if default:
+            field = GF2m(degree, kernel_backend=kernel_backend)
+        else:
+            field = GF2m(degree, modulus, kernel_backend=kernel_backend)
         _FIELD_CACHE[key] = field
+    elif kernel_backend and field._big and field.kernel_backend_name() != kernel_backend:
+        raise FieldError(
+            f"GF(2^{degree}) is already canonicalised with kernel backend "
+            f"{field.kernel_backend_name()!r}; per-field backend selection is "
+            f"sticky (requested {kernel_backend!r})"
+        )
     return field
 
 
@@ -148,10 +172,16 @@ class GF2m:
             integer bit mask).  If omitted, a deterministic low-weight
             irreducible polynomial is used, so two ``GF2m(m)`` instances are
             always the *same* field and interoperable.
+        kernel_backend: Optional kernel backend name (see
+            :mod:`repro.gf.backends`) for the big-field carry-less multiply;
+            omitted, the ``REPRO_GF_BACKEND`` environment variable and then
+            the static crossover policy decide.  Ignored for degrees <= 16,
+            which run on log/antilog tables.
 
     Raises:
-        FieldError: if the degree is not positive or the supplied modulus is
-            not an irreducible polynomial of the requested degree.
+        FieldError: if the degree is not positive, the supplied modulus is
+            not an irreducible polynomial of the requested degree, or the
+            backend name is unknown/unavailable.
     """
 
     __slots__ = (
@@ -164,15 +194,24 @@ class GF2m:
         "_inv_t",
         "_redtab",
         "_wtab",
-        "_wtab_limit",
+        "_wtab_bytes",
         "_big",
         "_stride",
         "_slot_cap",
         "_swtab",
         "_swtab_bytes",
+        "_kernel",
+        "_clmul",
+        "_clmul_stacked",
+        "_kstats",
     )
 
-    def __init__(self, degree: int, modulus: int | None = None) -> None:
+    def __init__(
+        self,
+        degree: int,
+        modulus: int | None = None,
+        kernel_backend: str | None = None,
+    ) -> None:
         if degree < 1:
             raise FieldError(f"field degree must be >= 1, got {degree}")
         if modulus is None:
@@ -198,8 +237,10 @@ class GF2m:
         # cache of per-multiplicand window tables.
         self._redtab: ReductionTable | bool | None = None
         self._wtab: Dict[int, List[int]] = {}
-        self._wtab_limit = max(8, _WINDOW_CACHE_BYTES // (32 * degree))
+        self._wtab_bytes = 0
         self._big = degree > _TABLE_MAX_DEGREE
+        # hits / misses / evictions for the window and stacked table caches.
+        self._kstats = {"window": [0, 0, 0], "stacked": [0, 0, 0]}
         # Stacked-kernel geometry (degree > 16): slot stride wide enough for
         # one raw product (guard-spacing rule, see polynomials.stack_stride),
         # the per-window slot cap, and the stacked window-table cache.  When
@@ -218,6 +259,26 @@ class GF2m:
         self._slot_cap = max(1, min(window_slots, 64))
         self._swtab: Dict[int, List[int]] = {}
         self._swtab_bytes = 0
+        # Kernel backend (big fields only): resolved once, sticky for the
+        # life of the instance; the raw-product dispatchers are bound here so
+        # the hot paths pay no per-call selection logic.  The windowed
+        # machinery stays on the field itself (it is also every other
+        # backend's delegate below their crossover points).
+        if self._big:
+            self._kernel = _backends.create_backend(self, kernel_backend)
+            if self._kernel.name == "windowed":
+                self._clmul = self._windowed_clmul
+                self._clmul_stacked = self._windowed_stacked_mul
+            else:
+                self._clmul = self._kernel.clmul
+                self._clmul_stacked = self._kernel.clmul_stacked
+        else:
+            if kernel_backend:
+                # Validate the name even though small fields run on tables.
+                _backends.backend_class(kernel_backend)
+            self._kernel = None
+            self._clmul = None
+            self._clmul_stacked = None
 
     # ------------------------------------------------------------------ tables
 
@@ -340,24 +401,46 @@ class GF2m:
         The cache is keyed on the multiplicand value; the equality-check
         encoding multiplies each symbol of a node's value against many coding
         matrices, so the handful of live symbols stay warm while the table
-        build amortises away.  The cache is dropped wholesale when it reaches
-        its (degree-scaled) size bound.
+        build amortises away.  Accounting is by *actual* byte size
+        (``sys.getsizeof`` summed over the table's entries, so sparse or
+        short multiplicands are charged what they cost, not a degree-scaled
+        estimate); the cache is dropped wholesale when the next table would
+        overflow the budget.
         """
         cache = self._wtab
+        stats = self._kstats["window"]
         table = cache.get(a)
         if table is None:
-            if len(cache) >= self._wtab_limit:
+            stats[1] += 1
+            table = window_table(a)
+            cost = sys.getsizeof(table) + sum(map(sys.getsizeof, table))
+            if self._wtab_bytes + cost > _WINDOW_CACHE_BYTES:
                 cache.clear()
-            table = cache[a] = window_table(a)
+                self._wtab_bytes = 0
+                stats[2] += 1
+            cache[a] = table
+            self._wtab_bytes += cost
+        else:
+            stats[0] += 1
         return table
 
     def _raw_mul_big(self, a: int, b: int) -> int:
         """The unreduced carry-less product behind :meth:`_mul_big`.
 
-        Scans one operand byte-by-byte against the cached window table of the
-        other; prefers whichever operand already has a table cached.  Callers
-        that combine several products linearly (XOR) can defer the modular
+        Dispatches to the field's kernel backend; the default windowed
+        backend binds :meth:`_windowed_clmul` here directly.  Callers that
+        combine several products linearly (XOR) can defer the modular
         reduction and fold it once over the combination.
+        """
+        return self._clmul(a, b)
+
+    def _windowed_clmul(self, a: int, b: int) -> int:
+        """The windowed raw product: byte scan against a cached window table.
+
+        Scans one operand byte-by-byte against the cached window table of the
+        other; prefers whichever operand already has a table cached.  This is
+        the ``windowed`` backend's primitive and the delegate every other
+        backend falls back to below its own crossover point.
         """
         table = self._wtab.get(a)
         if table is None and b in self._wtab:
@@ -365,6 +448,8 @@ class GF2m:
             table = self._wtab[a]
         if table is None:
             table = self._window_table_for(a)
+        else:
+            self._kstats["window"][0] += 1
         product = 0
         for byte in b.to_bytes((b.bit_length() + 7) // 8, "big"):
             product = (product << 8) ^ table[byte]
@@ -385,32 +470,50 @@ class GF2m:
     def _stacked_table(self, stacked: int, packed_bytes: int) -> List[int]:
         """The window table of a stacked operand, cached within the budget.
 
-        Oversized tables (more than a quarter of :data:`_STACK_CACHE_BYTES`)
-        are built but not retained; cacheable ones evict the whole cache when
-        the budget would overflow, mirroring :meth:`_window_table_for`.
+        Oversized tables (more than a quarter of :data:`_STACK_CACHE_BYTES`,
+        judged by actual byte size) are built but not retained; cacheable
+        ones evict the whole cache when the budget would overflow, mirroring
+        :meth:`_window_table_for`.  ``packed_bytes`` sizes a cheap pre-check
+        that skips the exact measurement for clearly oversized tables.
         """
+        stats = self._kstats["stacked"]
         table = self._swtab.get(stacked)
         if table is None:
+            stats[1] += 1
             table = window_table(stacked)
-            cost = 256 * packed_bytes
-            if cost <= _STACK_CACHE_BYTES // 4:
-                if self._swtab_bytes + cost > _STACK_CACHE_BYTES:
-                    self._swtab.clear()
-                    self._swtab_bytes = 0
-                self._swtab[stacked] = table
-                self._swtab_bytes += cost
+            if 256 * packed_bytes <= _STACK_CACHE_BYTES:
+                cost = sys.getsizeof(table) + sum(map(sys.getsizeof, table))
+                if cost <= _STACK_CACHE_BYTES // 4:
+                    if self._swtab_bytes + cost > _STACK_CACHE_BYTES:
+                        self._swtab.clear()
+                        self._swtab_bytes = 0
+                        stats[2] += 1
+                    self._swtab[stacked] = table
+                    self._swtab_bytes += cost
+        else:
+            stats[0] += 1
         return table
 
     def _stacked_raw_mul(self, stacked: int, factor: int, packed_bytes: int) -> int:
-        """One windowed pass multiplying a whole packed symbol batch by ``factor``.
+        """One fused pass multiplying a whole packed symbol batch by ``factor``.
+
+        Dispatches to the kernel backend's stacked primitive (the windowed
+        backend binds :meth:`_windowed_stacked_mul` directly); returns the
+        raw stacked product (unreduced).
+        """
+        if factor == 0 or stacked == 0:
+            return 0
+        return self._clmul_stacked(stacked, factor, packed_bytes)
+
+    def _windowed_stacked_mul(self, stacked: int, factor: int, packed_bytes: int) -> int:
+        """One windowed pass over a stacked batch: the ``windowed`` primitive.
 
         The window table of the *stacked* operand comes from
         :meth:`_stacked_table` — cached per field (keyed on the stacked
         value) within the :data:`_STACK_CACHE_BYTES` budget, so operands
         that recur across calls — a coding-matrix row scaled by each symbol
         of many values — pay the table build once and every later call is
-        just the ``factor`` byte scan.  Returns the raw stacked product
-        (unreduced).
+        just the ``factor`` byte scan.
         """
         if factor == 0 or stacked == 0:
             return 0
@@ -540,6 +643,76 @@ class GF2m:
         """
         return self.mul(a, self.inv(b))
 
+    # ------------------------------------------------------------- introspection
+
+    def kernel_backend_name(self) -> str:
+        """The kernel backend this field runs on (``"log-table"`` for m <= 16)."""
+        return self._kernel.name if self._kernel is not None else "log-table"
+
+    def kernel_cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Counters for every kernel-side cache this field holds.
+
+        Always includes the ``window`` and ``stacked`` table caches
+        (hits/misses/evictions plus byte-accurate occupancy); backends add
+        their own operand caches (``spread``, ``fft_operands``, ...).
+        """
+        window = self._kstats["window"]
+        stacked = self._kstats["stacked"]
+        stats: Dict[str, Dict[str, int]] = {
+            "window": {
+                "entries": len(self._wtab),
+                "bytes": self._wtab_bytes,
+                "budget_bytes": _WINDOW_CACHE_BYTES,
+                "hits": window[0],
+                "misses": window[1],
+                "evictions": window[2],
+            },
+            "stacked": {
+                "entries": len(self._swtab),
+                "bytes": self._swtab_bytes,
+                "budget_bytes": _STACK_CACHE_BYTES,
+                "hits": stacked[0],
+                "misses": stacked[1],
+                "evictions": stacked[2],
+            },
+        }
+        if self._kernel is not None:
+            stats.update(self._kernel.cache_stats())
+        return stats
+
+    def clear_kernel_caches(self) -> None:
+        """Drop the backend's operand caches (counters are preserved).
+
+        The window/stacked table caches are left alone — they are bounded,
+        shared across topologies, and clearing them would cost warm restarts
+        for nothing; the runner calls this per topology switch to bound the
+        *new* per-backend operand caches the same way it bounds the structure
+        caches.
+        """
+        if self._kernel is not None:
+            self._kernel.clear_caches()
+
+    def describe(self) -> Dict[str, object]:
+        """A structured snapshot of the field's kernel configuration.
+
+        Includes the selected backend, how it was selected, the backend's
+        crossover decisions, the stacked-slot geometry and all cache
+        counters; surfaced by the benchmarks as artifact extras.
+        """
+        info: Dict[str, object] = {
+            "degree": self.degree,
+            "modulus": hex(self.modulus),
+            "big": self._big,
+            "kernel_backend": self.kernel_backend_name(),
+        }
+        if self._kernel is not None:
+            info["selected_by"] = getattr(self._kernel, "selected_by", "unknown")
+            info["crossover"] = self._kernel.crossover()
+            info["stack_stride_bits"] = self._stride
+            info["stack_slot_cap"] = self._slot_cap
+        info["caches"] = self.kernel_cache_stats()
+        return info
+
     # ------------------------------------------------------------------ vectors
 
     def dot(self, left: Sequence[int], right: Sequence[int]) -> int:
@@ -633,6 +806,9 @@ class GF2m:
                 exp[log[a] + log[b]] if a and b else 0  # type: ignore[index]
                 for a, b in zip(left, right)
             ]
+        hooked = self._kernel.mul_vec(left, right)
+        if hooked is not None:
+            return hooked
         raw_mul = self._raw_mul_big
         raws = [raw_mul(a, b) if a and b else 0 for a, b in zip(left, right)]
         out: List[int] = []
@@ -657,6 +833,9 @@ class GF2m:
             raise FieldError(f"dot_vec length mismatch: {len(left)} vs {len(right)}")
         if not self._big:
             return self.dot(left, right)
+        hooked = self._kernel.dot_vec(left, right)
+        if hooked is not None:
+            return hooked
         raw_mul = self._raw_mul_big
         accumulator = 0
         for a, b in zip(left, right):
@@ -695,3 +874,25 @@ class GF2m:
 
     def __repr__(self) -> str:
         return f"GF2m(degree={self.degree}, modulus={self.modulus:#x})"
+
+
+def kernel_cache_stats() -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Kernel cache counters for every canonical field, keyed ``GF(2^m)``."""
+    return {
+        f"GF(2^{degree})": field.kernel_cache_stats()
+        for (degree, _modulus), field in sorted(_FIELD_CACHE.items())
+        if field._big
+    }
+
+
+def clear_kernel_caches() -> None:
+    """Drop the kernel backends' operand caches on every canonical field.
+
+    Called by the experiment runner on topology switches, alongside the
+    structure caches (min-cuts, packings, relay paths, rank verdicts): the
+    spread/spectrum operand caches are keyed on symbol values, which never
+    recur across topologies, so this is memory hygiene, not a correctness
+    concern.  Window/stacked tables and the field instances themselves stay.
+    """
+    for field in _FIELD_CACHE.values():
+        field.clear_kernel_caches()

@@ -47,7 +47,7 @@ class GFMatrix:
     field and that the rows are rectangular.
     """
 
-    __slots__ = ("field", "rows", "cols", "_data", "_stacked")
+    __slots__ = ("field", "rows", "cols", "_data", "_stacked", "_kctx")
 
     def __init__(self, field: GF2m, data: Sequence[Sequence[int]]) -> None:
         rows = [list(row) for row in data]
@@ -64,6 +64,7 @@ class GFMatrix:
         self.cols = width
         self._data = rows
         self._stacked = None
+        self._kctx = None
 
     # ------------------------------------------------------------ constructors
 
@@ -81,6 +82,7 @@ class GFMatrix:
         matrix.cols = len(rows[0])
         matrix._data = rows
         matrix._stacked = None
+        matrix._kctx = None
         return matrix
 
     @classmethod
@@ -310,6 +312,11 @@ class GFMatrix:
         (symbol, column) pair in :meth:`vecmat_loop`.
         """
         field = self.field
+        kernel = field._kernel
+        if kernel is not None:
+            hooked = kernel.vecmat(self, vector)
+            if hooked is not None:
+                return hooked
         width = field._stride // 8
         sizes, stacked_rows = self._stacked_rows()
         value_bytes = (field.degree + 7) // 8

@@ -20,7 +20,12 @@ _TOPOLOGY_BUILDERS: Dict[str, Callable[[], NetworkGraph]] = {
     "figure2a": generators.figure2a,
     "k4-unit": lambda: generators.complete_graph(4, capacity=1),
     "k4-fast": lambda: generators.complete_graph(4, capacity=4),
+    # "-hbd" marks capacity-rich fabrics in the InfiniteHBD/Octopus regime
+    # (PAPERS.md): per-link capacity scaled so megabyte-class payloads keep
+    # their per-symbol field degree inside the tabulated irreducible set.
+    "k4-hbd": lambda: generators.complete_graph(4, capacity=64),
     "k5-unit": lambda: generators.complete_graph(5, capacity=1),
+    "k5-hbd": lambda: generators.complete_graph(5, capacity=32),
     "k7-unit": lambda: generators.complete_graph(7, capacity=1),
     "k7-fast": lambda: generators.complete_graph(7, capacity=3),
     "ring7-chords": lambda: generators.ring_with_chords(7, chord_span=2, capacity=2),

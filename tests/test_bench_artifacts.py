@@ -1,0 +1,46 @@
+"""The benchmark runner's artifact guard: empty ``suites`` dicts are failures."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+
+def _load_run_all():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "run_all.py",
+    )
+    spec = importlib.util.spec_from_file_location("bench_run_all", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path, payload):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def test_empty_suites_flagged(tmp_path):
+    run_all = _load_run_all()
+    good = {"benchmark": "ok", "fast_mode": True, "suites": {"s": {"wall_seconds": 1}}}
+    empty = {"benchmark": "bad", "fast_mode": True, "suites": {}}
+    missing = {"benchmark": "worse", "fast_mode": True}
+    _write(tmp_path / "BENCH_ok.json", good)
+    _write(tmp_path / "BENCH_bad.json", empty)
+    _write(tmp_path / "BENCH_worse.json", missing)
+    (tmp_path / "BENCH_corrupt.json").write_text("{not json", encoding="utf-8")
+    offenders = run_all.check_artifacts(str(tmp_path))
+    assert offenders == ["BENCH_bad.json", "BENCH_corrupt.json", "BENCH_worse.json"]
+
+
+def test_clean_directory_passes(tmp_path):
+    run_all = _load_run_all()
+    _write(
+        tmp_path / "BENCH_ok.json",
+        {"benchmark": "ok", "fast_mode": False, "suites": {"s": {"wall_seconds": 1}}},
+    )
+    assert run_all.check_artifacts(str(tmp_path)) == []

@@ -169,19 +169,41 @@ class TestWindowTableCache:
         field.mul(b, a)
         assert list(field._wtab) == [a]
 
-    def test_cache_bounded_by_limit(self):
+    def test_cache_bounded_by_byte_budget(self):
+        import sys
+
+        from repro.gf.field import _WINDOW_CACHE_BYTES
+
         field = GF2m(2048)
-        limit = field._wtab_limit
-        assert limit <= 256
         rng = random.Random(7)
         field._wtab.clear()
-        for _ in range(limit + 5):
+        field._wtab_bytes = 0
+        # Charge by actual table size: enough distinct multiplicands to
+        # overflow the budget and force at least one wholesale eviction.
+        probe = window_table(field.random_nonzero(rng))
+        per_table = sys.getsizeof(probe) + sum(map(sys.getsizeof, probe))
+        for _ in range(_WINDOW_CACHE_BYTES // per_table + 5):
             field.mul(field.random_nonzero(rng), field.random_nonzero(rng))
-        assert len(field._wtab) <= limit
+        assert field._wtab_bytes <= _WINDOW_CACHE_BYTES
+        stats = field.kernel_cache_stats()["window"]
+        assert stats["evictions"] >= 1
+        assert stats["bytes"] == field._wtab_bytes
 
-    def test_limit_scales_down_with_degree(self):
-        small = GF2m(32)
-        assert small._wtab_limit >= GF2m(2048)._wtab_limit >= 8
+    def test_accounting_charges_actual_bytes_not_estimates(self):
+        import sys
+
+        field = GF2m(2048)
+        field._wtab.clear()
+        field._wtab_bytes = 0
+        # A sparse multiplicand's table holds short ints; the charge must
+        # reflect that, not a degree-scaled estimate.
+        field.mul(1 << 3, field.random_nonzero(random.Random(8)))
+        sparse_cost = field._wtab_bytes
+        table = field._wtab[1 << 3]
+        assert sparse_cost == sys.getsizeof(table) + sum(map(sys.getsizeof, table))
+        dense = field.random_nonzero(random.Random(9))
+        field.mul(dense, field.random_nonzero(random.Random(10)))
+        assert field._wtab_bytes - sparse_cost > 4 * sparse_cost
 
 
 class TestIrreducibilitySpeedups:

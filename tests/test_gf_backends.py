@@ -1,0 +1,345 @@
+"""Conformance and registry tests for the pluggable GF kernel backends.
+
+Every backend registered in :mod:`repro.gf.backends` is pitted against the
+frozen bit-serial oracles (``poly_mul`` on the polynomial layer,
+``GF2m._mul_fallback`` / ``vecmat_loop`` / ``matmul_loop`` on the field and
+matrix layers) across degrees 17-2048, with spot checks at the
+``huge_payloads`` degrees 8739 and 21846.  Backends added later are picked up
+automatically — the suite iterates :func:`available_backend_names`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.spec import FAULT_FREE, ExperimentSpec
+from repro.exceptions import ConfigurationError, FieldError
+from repro.gf import backends
+from repro.gf.field import GF2m, get_field
+from repro.gf.matrix import GFMatrix
+from repro.gf.polynomials import (
+    bit_compact,
+    bit_spread,
+    poly_mul,
+    poly_mul_spread,
+    spread_factor_for,
+    spread_table,
+)
+
+#: Degrees the full conformance sweep exercises: beyond the log-table limit,
+#: a non-tabulated search degree (100), and the large_payloads regime.
+DEGREES = (17, 33, 100, 256, 1024, 2048)
+
+#: The huge_payloads degrees, spot-checked with fewer samples (the bit-serial
+#: oracle is quadratic, so each product costs real time here).
+HUGE_DEGREES = (8739, 21846)
+
+BACKENDS = backends.available_backend_names()
+
+
+def _adversarial_operands(degree: int, rng: random.Random):
+    """Random, all-ones, sparse and boundary operands for one degree."""
+    order = 1 << degree
+    return [
+        rng.getrandbits(degree),
+        rng.getrandbits(degree) | (1 << (degree - 1)),
+        order - 1,  # all ones
+        1 << (degree - 1),  # single top bit
+        (1 << (degree // 2)) | 1,  # sparse
+        1,
+        0,
+    ]
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+class TestBackendConformance:
+    def test_scalar_mul_matches_bitserial_oracle(self, name):
+        rng = random.Random(11)
+        for degree in DEGREES:
+            field = GF2m(degree, kernel_backend=name)
+            operands = _adversarial_operands(degree, rng)
+            for a in operands:
+                for b in operands:
+                    assert field.mul(a, b) == field._mul_fallback(a, b), (
+                        name,
+                        degree,
+                        a,
+                        b,
+                    )
+
+    def test_raw_clmul_matches_poly_mul(self, name):
+        rng = random.Random(12)
+        for degree in DEGREES:
+            field = GF2m(degree, kernel_backend=name)
+            for _ in range(8):
+                a = rng.getrandbits(degree) | 1
+                b = rng.getrandbits(degree) | 1
+                assert field._kernel.clmul(a, b) == poly_mul(a, b), (name, degree)
+
+    def test_huge_degree_spot_check(self, name):
+        rng = random.Random(13)
+        for degree in HUGE_DEGREES:
+            field = GF2m(degree, kernel_backend=name)
+            a = rng.getrandbits(degree) | (1 << (degree - 1))
+            b = rng.getrandbits(degree) | (1 << (degree - 1))
+            assert field.mul(a, b) == field._mul_fallback(a, b), (name, degree)
+
+    def test_vector_kernels_match_oracles(self, name):
+        rng = random.Random(14)
+        for degree in (17, 256, 1024):
+            field = GF2m(degree, kernel_backend=name)
+            left = field.random_vector(7, rng)
+            right = field.random_vector(7, rng)
+            assert field.dot_vec(left, right) == field.dot(left, right)
+            assert field.mul_vec(left, right) == [
+                field._mul_fallback(a, b) for a, b in zip(left, right)
+            ]
+            scalar = field.random_nonzero(rng)
+            assert field.scale_vec(scalar, left) == [
+                field._mul_fallback(scalar, a) for a in left
+            ]
+
+    def test_vecmat_and_matmul_match_frozen_loops(self, name):
+        rng = random.Random(15)
+        for degree in (64, 1024):
+            field = GF2m(degree, kernel_backend=name)
+            # 70 columns spills past one stacked window at large degrees,
+            # exercising the ragged final window of the batched kernels.
+            matrix = GFMatrix.random(field, 5, 70, rng)
+            vector = [field.random_element(rng) for _ in range(5)]
+            assert matrix.vecmat(vector) == matrix.vecmat_loop(vector)
+            sparse = [0, vector[1], 0, 0, vector[4]]
+            assert matrix.vecmat(sparse) == matrix.vecmat_loop(sparse)
+            assert matrix.vecmat([0] * 5) == [0] * 70
+            left = GFMatrix.random(field, 3, 5, rng)
+            assert (left @ matrix).to_lists() == left.matmul_loop(matrix).to_lists()
+
+    def test_ragged_stacked_batches(self, name):
+        rng = random.Random(16)
+        field = GF2m(820, kernel_backend=name)
+        scalar = field.random_nonzero(rng)
+        for length in (1, 2, 63, 64, 65, 130):
+            vector = field.random_vector(length, rng)
+            assert field.scale_vec(scalar, vector) == [
+                field._mul_fallback(scalar, value) for value in vector
+            ], (name, length)
+
+
+class TestSpreadPrimitives:
+    @given(
+        factor_log=st.integers(min_value=1, max_value=6),
+        value=st.integers(min_value=0, max_value=(1 << 256) - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_compact_inverts_spread(self, factor_log, value):
+        factor = 1 << factor_log
+        assert bit_compact(bit_spread(value, factor), factor) == value
+
+    def test_spread_table_rejects_bad_factors(self):
+        for factor in (0, 1, 3, 6, 12):
+            with pytest.raises(FieldError):
+                spread_table(factor)
+
+    def test_spread_factor_contains_counts(self):
+        for bits in (1, 2, 3, 7, 8, 17, 1024, 21846):
+            factor = spread_factor_for(bits)
+            assert factor & (factor - 1) == 0
+            assert (1 << factor) > bits
+            # Minimal: the next power of two down cannot contain the counts.
+            if factor > 2:
+                assert (1 << (factor >> 1)) <= bits
+
+    @given(degree=st.sampled_from((17, 64, 257, 820, 1024, 2048)), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_poly_mul_spread_matches_oracle(self, degree, data):
+        a = data.draw(st.integers(min_value=0, max_value=(1 << degree) - 1))
+        b = data.draw(st.integers(min_value=0, max_value=(1 << degree) - 1))
+        assert poly_mul_spread(a, b) == poly_mul(a, b)
+
+    def test_poly_mul_spread_adversarial_operands(self):
+        for degree in (17, 100, 1024, 2048):
+            ones = (1 << degree) - 1
+            sparse = (1 << (degree - 1)) | 1
+            for a, b in [(ones, ones), (ones, sparse), (sparse, sparse), (ones, 1)]:
+                assert poly_mul_spread(a, b) == poly_mul(a, b), degree
+
+    def test_explicit_factor_must_contain_counts(self):
+        # factor=4 holds counts < 16: fine for tiny operands, wrong for wide
+        # all-ones operands whose convolution counts overflow the guard slots.
+        assert poly_mul_spread(0b111, 0b101, factor=4) == poly_mul(0b111, 0b101)
+        wide = (1 << 64) - 1
+        assert poly_mul_spread(wide, wide, factor=128) == poly_mul(wide, wide)
+
+
+class TestRegistry:
+    def test_all_shipped_backends_registered(self):
+        names = backends.backend_names()
+        for expected in ("bitserial", "windowed", "bitspread", "numpy"):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FieldError, match="unknown kernel backend"):
+            GF2m(256, kernel_backend="no-such-kernel")
+        with pytest.raises(FieldError):
+            backends.backend_class("no-such-kernel")
+
+    def test_unknown_name_rejected_for_small_fields_too(self):
+        with pytest.raises(FieldError):
+            GF2m(8, kernel_backend="no-such-kernel")
+
+    def test_env_override_respected(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "bitspread")
+        field = GF2m(256)
+        assert field.kernel_backend_name() == "bitspread"
+        assert field._kernel.selected_by == "env"
+
+    def test_env_unknown_name_rejected(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "no-such-kernel")
+        with pytest.raises(FieldError):
+            GF2m(256)
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_BACKEND, "bitspread")
+        field = GF2m(256, kernel_backend="windowed")
+        assert field.kernel_backend_name() == "windowed"
+        assert field._kernel.selected_by == "explicit"
+
+    def test_auto_policy(self):
+        assert backends.auto_backend_name(256) == "windowed"
+        if "numpy" in BACKENDS:
+            assert backends.auto_backend_name(backends.NUMPY_MIN_DEGREE) == "numpy"
+
+    def test_selection_sticky_across_get_field_calls(self):
+        # A degree no other test canonicalises, so the cache entry is ours.
+        first = get_field(1031, kernel_backend="bitspread")
+        again = get_field(1031)
+        assert again is first
+        assert again.kernel_backend_name() == "bitspread"
+
+    def test_conflicting_backend_request_raises(self):
+        get_field(1033, kernel_backend="windowed")
+        with pytest.raises(FieldError, match="sticky"):
+            get_field(1033, kernel_backend="bitspread")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(FieldError):
+            backends.register_backend(backends.WindowedBackend)
+
+    def test_describe_reports_backend_and_crossover(self):
+        field = GF2m(1024, kernel_backend="bitspread")
+        info = field.describe()
+        assert info["kernel_backend"] == "bitspread"
+        assert info["selected_by"] == "explicit"
+        assert info["crossover"]["spread_factor"] == spread_factor_for(1024)
+        assert "spread" in info["caches"]
+
+
+class TestOperandCaches:
+    def test_bitspread_cache_counts_hits(self):
+        field = GF2m(256, kernel_backend="bitspread")
+        rng = random.Random(21)
+        a = field.random_nonzero(rng)
+        field._kernel.clear_caches()
+        field.mul(a, field.random_nonzero(rng))
+        field.mul(a, field.random_nonzero(rng))
+        stats = field.kernel_cache_stats()["spread"]
+        assert stats["hits"] >= 1
+        assert stats["entries"] >= 1
+        assert 0 < stats["bytes"] <= stats["budget_bytes"]
+
+    def test_clear_kernel_caches_drops_operands_keeps_counters(self):
+        field = GF2m(256, kernel_backend="bitspread")
+        rng = random.Random(22)
+        field.mul(field.random_nonzero(rng), field.random_nonzero(rng))
+        before = field.kernel_cache_stats()["spread"]["misses"]
+        assert before >= 1
+        field.clear_kernel_caches()
+        stats = field.kernel_cache_stats()["spread"]
+        assert stats["entries"] == 0
+        assert stats["bytes"] == 0
+        assert stats["misses"] == before
+
+    def test_module_level_stats_and_clear(self):
+        from repro.gf import field as field_module
+
+        field = get_field(1031)  # canonicalised above with bitspread
+        rng = random.Random(23)
+        field.mul(field.random_nonzero(rng), field.random_nonzero(rng))
+        stats = field_module.kernel_cache_stats()
+        assert "GF(2^1031)" in stats
+        field_module.clear_kernel_caches()
+        assert field_module.kernel_cache_stats()["GF(2^1031)"]["spread"]["entries"] == 0
+
+    @pytest.mark.skipif("numpy" not in BACKENDS, reason="numpy not importable")
+    def test_numpy_matrix_spectra_cached_within_budget(self):
+        field = GF2m(4096, kernel_backend="numpy")
+        rng = random.Random(24)
+        matrix = GFMatrix.random(field, 4, 6, rng)
+        vector = [field.random_element(rng) for _ in range(4)]
+        first = matrix.vecmat(vector)
+        second = matrix.vecmat(vector)
+        assert first == second == matrix.vecmat_loop(vector)
+        stats = field.kernel_cache_stats()["fft_matrices"]
+        assert stats["misses"] >= 1
+        assert stats["hits"] >= 1
+        assert matrix._kctx is not None
+
+
+class TestSpecIntegration:
+    def test_spec_rejects_unknown_backend(self):
+        spec = ExperimentSpec(
+            name="bad-backend",
+            topologies=("k4-fast",),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(8,),
+            fault_counts=(1,),
+            protocols=("nab",),
+            kernel_backend="no-such-kernel",
+        )
+        with pytest.raises(ConfigurationError, match="kernel backend"):
+            spec.expand()
+
+    def test_spec_accepts_registered_backend_and_keeps_cell_ids(self):
+        base = dict(
+            topologies=("k4-fast",),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(8,),
+            fault_counts=(1,),
+            protocols=("nab",),
+        )
+        plain = ExperimentSpec(name="s", **base).expand()
+        forced = ExperimentSpec(name="s", kernel_backend="windowed", **base).expand()
+        # Backends never change values, so the backend axis must not leak
+        # into cell identities (or their derived seeds).
+        assert [cell.cell_id for cell in forced] == [cell.cell_id for cell in plain]
+        assert [cell.seed for cell in forced] == [cell.seed for cell in plain]
+
+    def test_runner_propagates_and_restores_env(self, monkeypatch):
+        import os
+
+        from repro.engine.runner import run_spec
+
+        monkeypatch.delenv(backends.ENV_BACKEND, raising=False)
+        spec = ExperimentSpec(
+            name="env-probe",
+            topologies=("k4-fast",),
+            strategies=(FAULT_FREE,),
+            payload_bytes=(8,),
+            fault_counts=(1,),
+            protocols=("nab",),
+            instances=1,
+            kernel_backend="windowed",
+        )
+        seen: list = []
+        run_spec(
+            spec,
+            out_path=None,
+            workers=1,
+            progress=lambda row: seen.append(os.environ.get(backends.ENV_BACKEND)),
+        )
+        assert seen == ["windowed"]
+        assert backends.ENV_BACKEND not in os.environ
