@@ -24,6 +24,7 @@ from _harness import scaled, suite_result, time_callable, write_results
 from repro.classical.relay import relay_path_cache_stats
 from repro.engine import get_spec, run_spec
 from repro.graph.flow_cache import cache_stats, clear_mincut_cache
+from repro.graph.gomory_hu import gomory_hu_cache_stats, incremental_repair_stats
 from repro.graph.spanning_trees import pack_cache_stats
 
 SPEC_NAME = scaled("nab_vs_classical", "nab_vs_classical_quick")
@@ -49,6 +50,8 @@ def test_engine_sweep_parallel_speedup(benchmark):
         before = cache_stats()
         before_pack = pack_cache_stats()
         before_paths = relay_path_cache_stats()
+        before_gh = gomory_hu_cache_stats()
+        before_repair = incremental_repair_stats()
         serial_seconds, serial_summary = time_callable(lambda: _sweep(1))
         after = cache_stats()
         # Lifetime counters survive the runner's per-topology cache clears,
@@ -61,9 +64,15 @@ def test_engine_sweep_parallel_speedup(benchmark):
             "misses": misses,
             "hit_rate": (hits / lookups) if lookups else None,
         }
+        repair_now = incremental_repair_stats()
+        serial_cache["gomory_hu_repair"] = {
+            key: repair_now[f"lifetime_{key}"] - before_repair[f"lifetime_{key}"]
+            for key in ("pairs", "adjusted", "certified", "resolved")
+        }
         for label, probe, snapshot in (
             ("pack", pack_cache_stats, before_pack),
             ("relay_paths", relay_path_cache_stats, before_paths),
+            ("gomory_hu", gomory_hu_cache_stats, before_gh),
         ):
             now = probe()
             sub_hits = now["lifetime_hits"] - snapshot["lifetime_hits"]

@@ -1,0 +1,220 @@
+"""Graph-analysis throughput: Gomory–Hu vs per-pair Dinic, incremental repair.
+
+Three suites in ``BENCH_graph_analysis.json``:
+
+* ``gomory_hu_all_pairs`` — all ``n (n - 1) / 2`` pairwise min-cuts of a
+  symmetric random network, per-pair Dinic oracle (one shared residual
+  build per source) vs one Gomory–Hu tree + tree-path queries.  The >= 5x
+  speedup gate is the PR 8 acceptance criterion; it is enforced in full
+  mode only (``n >= 128``), since at fast-mode sizes the tree build is not
+  yet amortised.
+* ``incremental_vs_full`` — a sequence of dispute-style pair removals on a
+  2D torus: full tree rebuild per step vs the exact decremental repair,
+  with identical global-min-cut sequences asserted and the repair outcome
+  counters (adjusted / certified / resolved) recorded.
+* ``datacenter_bounds`` — wall time of one complete ``analyse_network``
+  (gamma*, rho*, Eq. 6, Theorem 2) on a datacenter-scale torus, the
+  workload the ``datacenter_scale`` spec runs per cell.
+
+Fast mode shrinks every size (CI smoke); the committed baseline is written
+with ``REPRO_BENCH_FAST=0``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _harness import fast_mode, scaled, suite_result, time_callable, write_results
+from repro.capacity.bounds import analyse_network
+from repro.graph.flow_cache import clear_mincut_cache
+from repro.graph.generators import random_connected_network, torus_2d
+from repro.graph.gomory_hu import (
+    clear_gomory_hu_cache,
+    gomory_hu_tree,
+    incremental_repair_stats,
+    repair_tree_after_pair_removal,
+)
+from repro.graph.maxflow import all_max_flow_values
+
+# All-pairs sizes: the acceptance gate demands n >= 128 in full mode; fast
+# mode caps the graph well below that so the CI step stays inside its
+# timeout (the oracle side is quadratic in n).
+ALL_PAIRS_NODES = scaled(128, 24)
+MIN_ALL_PAIRS_SPEEDUP = 5.0
+
+# Incremental suite: a TORUS_SIDE^2-node torus and a prefix of its links
+# removed one pair per step (full rebuild is n - 1 solves per step).
+TORUS_SIDE = scaled(12, 6)
+REMOVAL_STEPS = scaled(24, 6)
+
+BOUNDS_TOPOLOGY = scaled((16, 16), (8, 8))
+
+
+def _symmetric_random_graph(node_count: int):
+    return random_connected_network(
+        node_count,
+        3,
+        random.Random(2024),
+        max_capacity=8,
+        extra_edge_probability=0.05,
+        symmetric=True,
+    )
+
+
+def test_gomory_hu_all_pairs_speedup(benchmark):
+    graph = _symmetric_random_graph(ALL_PAIRS_NODES)
+    nodes = graph.nodes()
+
+    def _oracle():
+        values = {}
+        for index, source in enumerate(nodes):
+            targets = nodes[index + 1 :]
+            if not targets:
+                continue
+            for target, value in all_max_flow_values(graph, source, targets).items():
+                values[(source, target)] = value
+        return values
+
+    def _tree():
+        tree = gomory_hu_tree(graph)
+        values = {}
+        for index, source in enumerate(nodes):
+            for target, value in tree.all_target_mincuts(source).items():
+                if target > source:
+                    values[(source, target)] = value
+        return values
+
+    def _run():
+        clear_mincut_cache()
+        clear_gomory_hu_cache()
+        oracle_seconds, oracle_values = time_callable(_oracle)
+        tree_seconds, tree_values = time_callable(_tree)
+        return oracle_seconds, oracle_values, tree_seconds, tree_values
+
+    oracle_seconds, oracle_values, tree_seconds, tree_values = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    assert tree_values == oracle_values, "Gomory-Hu tree diverged from the Dinic oracle"
+    pairs = len(oracle_values)
+    speedup = oracle_seconds / tree_seconds if tree_seconds > 0 else float("inf")
+
+    print()
+    print(f"all-pairs min-cuts, n={ALL_PAIRS_NODES} ({pairs} pairs)")
+    print(f"per-pair Dinic: {oracle_seconds:7.3f}s  ({pairs / oracle_seconds:8.1f} pairs/s)")
+    print(f"Gomory-Hu:      {tree_seconds:7.3f}s  ({pairs / tree_seconds:8.1f} pairs/s)")
+    print(f"speedup:        {speedup:.1f}x  (gate {'enforced' if not fast_mode() else 'skipped (fast mode)'})")
+
+    _RESULTS["gomory_hu_all_pairs"] = suite_result(
+        tree_seconds,
+        operations=pairs,
+        node_count=ALL_PAIRS_NODES,
+        oracle_seconds=oracle_seconds,
+        speedup_vs_oracle=speedup,
+        speedup_gate_enforced=not fast_mode(),
+    )
+    _flush()
+    if not fast_mode():
+        assert speedup >= MIN_ALL_PAIRS_SPEEDUP, (
+            f"Gomory-Hu all-pairs speedup {speedup:.1f}x below the "
+            f"{MIN_ALL_PAIRS_SPEEDUP:.0f}x gate at n={ALL_PAIRS_NODES}"
+        )
+
+
+def test_incremental_repair_vs_full_rebuild(benchmark):
+    graph = torus_2d(TORUS_SIDE, TORUS_SIDE)
+    removals = sorted(
+        {frozenset((tail, head)) for tail, head, _ in graph.edges()},
+        key=lambda pair: tuple(sorted(pair)),
+    )[:REMOVAL_STEPS]
+
+    graphs = [graph]
+    for pair in removals:
+        graphs.append(graphs[-1].remove_links_between([pair]))
+
+    def _full():
+        return [gomory_hu_tree(g).min_weight() for g in graphs[1:]]
+
+    def _incremental():
+        tree = gomory_hu_tree(graphs[0])
+        minima = []
+        for step, pair in enumerate(removals):
+            a, b = sorted(pair)
+            tree = repair_tree_after_pair_removal(graphs[step], tree, graphs[step + 1], a, b)
+            minima.append(tree.min_weight())
+        return minima
+
+    def _run():
+        clear_mincut_cache()
+        clear_gomory_hu_cache()
+        full_seconds, full_minima = time_callable(_full)
+        before = incremental_repair_stats()
+        incremental_seconds, incremental_minima = time_callable(_incremental)
+        after = incremental_repair_stats()
+        counters = {
+            key: after[key] - before[key]
+            for key in ("pairs", "adjusted", "certified", "resolved")
+        }
+        return full_seconds, full_minima, incremental_seconds, incremental_minima, counters
+
+    (
+        full_seconds, full_minima, incremental_seconds, incremental_minima, counters,
+    ) = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    assert incremental_minima == full_minima, (
+        "incremental repair diverged from full re-solve"
+    )
+    speedup = full_seconds / incremental_seconds if incremental_seconds > 0 else float("inf")
+    edges_touched = counters["adjusted"] + counters["certified"] + counters["resolved"]
+
+    print()
+    print(f"{TORUS_SIDE}x{TORUS_SIDE} torus, {len(removals)} pair removals")
+    print(f"full rebuild: {full_seconds:7.3f}s   incremental: {incremental_seconds:7.3f}s "
+          f"({speedup:.1f}x)")
+    print(f"tree edges:   {counters['adjusted']} adjusted, {counters['certified']} certified, "
+          f"{counters['resolved']} re-solved of {edges_touched}")
+
+    _RESULTS["incremental_vs_full"] = suite_result(
+        incremental_seconds,
+        operations=len(removals),
+        node_count=TORUS_SIDE * TORUS_SIDE,
+        full_rebuild_seconds=full_seconds,
+        speedup_vs_full=speedup,
+        repair_counters=counters,
+    )
+    _flush()
+
+
+def test_datacenter_bounds_analysis(benchmark):
+    rows, cols = BOUNDS_TOPOLOGY
+    graph = torus_2d(rows, cols)
+
+    def _run():
+        clear_mincut_cache()
+        clear_gomory_hu_cache()
+        seconds, analysis = time_callable(lambda: analyse_network(graph, 1, 0))
+        return seconds, analysis
+
+    seconds, analysis = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print()
+    print(f"analyse_network on {rows}x{cols} torus ({rows * cols} nodes): {seconds:.3f}s "
+          f"(gamma*={analysis.gamma_star}, rho*={analysis.rho_star})")
+
+    _RESULTS["datacenter_bounds"] = suite_result(
+        seconds,
+        operations=rows * cols,
+        gamma_star=analysis.gamma_star,
+        rho_star=analysis.rho_star,
+    )
+    _flush()
+
+
+_RESULTS: dict = {}
+
+
+def _flush() -> None:
+    # Each test rewrites the artifact with every suite recorded so far, so a
+    # partial run (one test failing) still leaves valid measurements behind.
+    path = write_results("graph_analysis", _RESULTS)
+    print(f"wrote {path}")

@@ -79,9 +79,12 @@ def compare_artifact(
         }
         if not modes_match:
             row["status"] = "incomparable (fast/full mode mismatch)"
-        elif base is None or old_wall is None or new_wall is None:
-            row["status"] = "no baseline"
-        elif old_wall <= 0:
+        elif base is None:
+            # A suite only the fresh run has — a newly added benchmark.
+            # Deliberately never a regression: new coverage must not flag
+            # the PR that introduces it.
+            row["status"] = "new suite (no baseline)"
+        elif old_wall is None or new_wall is None or old_wall <= 0:
             row["status"] = "no baseline"
         else:
             change = (new_wall - old_wall) / old_wall
@@ -122,7 +125,9 @@ def main(argv=None) -> int:
             continue
         baseline = _load_baseline(name, args.ref)
         if baseline is None:
-            print(f"{name}: no committed baseline at {args.ref}, skipped")
+            # A whole artifact only the fresh run has (newly added benchmark
+            # file): reported, never a regression.
+            print(f"{name}: new artifact, no committed baseline at {args.ref}, skipped")
             continue
         print(f"{name} (vs {args.ref}):")
         for row in compare_artifact(fresh, baseline, args.threshold):

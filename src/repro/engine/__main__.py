@@ -3,6 +3,22 @@
 Runs (or resumes) a named experiment spec, persists one JSONL row per cell,
 and prints the protocol-comparison table next to the paper's analytical
 bounds.  Rerunning the same command skips every already-completed cell.
+
+Examples::
+
+    python -m repro.engine --list-specs
+    python -m repro.engine --spec nab_vs_classical --workers 4
+    python -m repro.engine --spec datacenter_scale
+
+The ``datacenter_scale`` spec charts gamma*, rho*, the Eq. 6 throughput and
+the Theorem 2 capacity bound on 64-1024-node fat-tree / torus /
+ring-of-rings / Octopus-pod fabrics.  Its cells are *bounds-only* — no
+broadcast protocol executes; each row's ``bounds`` field is the deliverable
+and its ``record`` is null (rendered as ``bounds`` in the comparison table).
+The Gomory-Hu analysis layer is what makes these grids affordable: one cut
+tree of ``n - 1`` flow solves per distinct graph instead of per-pair Dinic
+runs.  ``datacenter_scale_f1`` adds the ``f = 1`` sweep on the smallest
+feasible member of each family.
 """
 
 from __future__ import annotations

@@ -76,6 +76,11 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
                 line.append("error")
                 continue
             record = row["record"]
+            if record is None:
+                # Bounds-only cell (datacenter-scale grids): no protocol ran;
+                # the analytical columns at the end carry the content.
+                line.append("bounds")
+                continue
             throughput = _fraction(record.get("throughput"))
             spec_ok = record["agreement_ok"] and record["validity_ok"] is not False
             cell = "-" if throughput is None else f"{float(throughput):.4g}"

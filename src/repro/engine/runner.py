@@ -47,6 +47,7 @@ from repro.engine.spec import Cell, ExperimentSpec
 from repro.exceptions import ConfigurationError
 from repro.gf.field import clear_kernel_caches
 from repro.graph.flow_cache import clear_mincut_cache
+from repro.graph.gomory_hu import clear_gomory_hu_cache
 from repro.graph.spanning_trees import clear_pack_cache
 from repro.sched.faults import fault_plan
 
@@ -121,6 +122,14 @@ def run_cell(cell: Cell) -> Dict[str, object]:
         if analysis is None:
             analysis = analyse_network(scenario.graph, scenario.source, cell.max_faults)
             _ANALYSIS_MEMO[memo_key] = analysis
+        if cell.bounds_only:
+            # Analytical cell: gamma*/rho*/Eq. 6/Theorem 2 are the whole
+            # deliverable; no protocol runs (record stays null, error None,
+            # so resume keeps the row).
+            row["record"] = None
+            row["bounds"] = _bounds_jsonable(analysis)
+            row["error"] = None
+            return row
         protocol = get_protocol(cell.protocol)
         params: Dict[str, object] = {
             "max_faults": cell.max_faults,
@@ -162,8 +171,9 @@ _LAST_TOPOLOGY: Optional[str] = None
 def _execute_cell(cell: Cell) -> Dict[str, object]:
     """Worker entry point: per-topology cache hygiene around :func:`run_cell`.
 
-    All four process-wide structure caches (min-cut solutions, arborescence
-    packings, relay paths, coding-scheme rank verdicts) are keyed on
+    All five process-wide structure caches (min-cut solutions, Gomory-Hu
+    trees, arborescence packings, relay paths, coding-scheme rank verdicts)
+    are keyed on
     canonical graph signatures, so clearing them is about memory, not
     correctness; cells arrive grouped by topology, so the clears are rare.
     The GF kernel operand caches (spread operands, FFT spectra) are dropped
@@ -173,6 +183,7 @@ def _execute_cell(cell: Cell) -> Dict[str, object]:
     global _LAST_TOPOLOGY
     if cell.topology != _LAST_TOPOLOGY:
         clear_mincut_cache()
+        clear_gomory_hu_cache()
         clear_pack_cache()
         clear_relay_path_cache()
         clear_verification_cache()

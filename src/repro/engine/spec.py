@@ -88,6 +88,12 @@ class Cell:
     execution: str = SEQUENTIAL
     link_model: str = "instant"
     fault_plan: str = "none"
+    #: Analytical-bounds-only cell: the runner computes gamma*/rho*/Eq. 6/
+    #: Theorem 2 and skips protocol execution entirely (``record`` is null).
+    #: The datacenter-scale grids use this — executing a broadcast protocol
+    #: on a 1024-node fabric is neither needed nor affordable for charting
+    #: the paper's bounds.
+    bounds_only: bool = False
 
     def scenario(self) -> Scenario:
         """Build the fully specified scenario for this cell."""
@@ -161,6 +167,10 @@ class ExperimentSpec:
     base_seed: int = 0
     description: str = ""
     kernel_backend: str = ""
+    #: When true, every expanded cell is analytical-bounds-only (see
+    #: :attr:`Cell.bounds_only`); cell ids gain a ``|bounds`` suffix so the
+    #: ids (and derived seeds) of ordinary grids are untouched.
+    bounds_only: bool = False
 
     def _faulty_nodes(
         self, strategy: str, nodes: List[NodeId], max_faults: int
@@ -268,6 +278,8 @@ class ExperimentSpec:
                                             cell_id += f"|lm={model}"
                                         if plan != "none":
                                             cell_id += f"|fp={plan}"
+                                        if self.bounds_only:
+                                            cell_id += "|bounds"
                                         cells.append(
                                             Cell(
                                                 spec_name=self.name,
@@ -286,6 +298,7 @@ class ExperimentSpec:
                                                 execution=execution,
                                                 link_model=model,
                                                 fault_plan=plan,
+                                                bounds_only=self.bounds_only,
                                             )
                                         )
         return cells

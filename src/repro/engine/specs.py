@@ -203,6 +203,69 @@ register_spec(
 
 register_spec(
     ExperimentSpec(
+        name="datacenter_scale",
+        # The PR 8 bounds chart: every datacenter family at 64-1024 nodes.
+        # bounds_only cells never execute a protocol — each cell is one
+        # gamma*/rho*/Eq. 6/Theorem 2 evaluation, which the Gomory-Hu layer
+        # makes tractable at 1024 nodes.  f = 0 keeps the gamma/Omega
+        # families singleton (the full graph); the f = 1 sweep lives in
+        # datacenter_scale_f1 on the 64-80-node members, where the
+        # O(n)-candidate families are still affordable.
+        topologies=(
+            "fat-tree-8",
+            "fat-tree-16",
+            "torus-8x8",
+            "torus-16x16",
+            "torus-32x32",
+            "ring-rings-8x8",
+            "ring-rings-16x16",
+            "ring-rings-32x32",
+            "octopus-8x8",
+            "octopus-16x16",
+            "octopus-32x32",
+        ),
+        strategies=(FAULT_FREE,),
+        payload_bytes=(8,),
+        fault_counts=(0,),
+        protocols=("bounds",),
+        instances=1,
+        bounds_only=True,
+        description=(
+            "Analytical bounds on datacenter-scale fabrics (PAPERS.md: "
+            "InfiniteHBD rings, fat-tree Clos, torus pods, sparse Octopus "
+            "meshes) at 64-1024 nodes: per-cell gamma*, rho*, Eq. 6 and "
+            "Theorem 2, no protocol execution (11 bounds-only cells).  "
+            "Example: python -m repro.engine --spec datacenter_scale"
+        ),
+    )
+)
+
+register_spec(
+    ExperimentSpec(
+        name="datacenter_scale_f1",
+        # One actually-Byzantine point per family: the smallest member of
+        # each datacenter family that stays feasible at f = 1 (needs
+        # connectivity >= 3; every family below has kappa >= 3 by
+        # construction).  The gamma* family then holds n + 1 candidate
+        # graphs and Omega_1 holds n subsets, each analysed via its own
+        # cached Gomory-Hu tree.
+        topologies=("fat-tree-8", "torus-8x8", "ring-rings-8x8", "octopus-8x8"),
+        strategies=(FAULT_FREE,),
+        payload_bytes=(8,),
+        fault_counts=(1,),
+        protocols=("bounds",),
+        instances=1,
+        bounds_only=True,
+        description=(
+            "f = 1 companion to datacenter_scale on the 64-80-node family "
+            "members: full gamma*/rho* minimisation over the O(n) candidate "
+            "fault sets (4 bounds-only cells)."
+        ),
+    )
+)
+
+register_spec(
+    ExperimentSpec(
         name="latency_models",
         # 7-node topologies only: the lan-wan model's slow links touch node 7,
         # so smaller graphs would silently degenerate to uniform latency.

@@ -13,6 +13,10 @@ The paper models the network as a synchronous point-to-point network
 * :mod:`repro.graph.flow_cache` — the process-wide LRU cache of solved
   min-cut values keyed on canonical graph signatures; the capacity layer's
   repeated sweeps hit this instead of re-running Dinic.
+* :mod:`repro.graph.gomory_hu` — Gomory-Hu cut trees: all-pairs min-cuts of
+  undirected-equivalent graphs from ``n - 1`` flows, with exact decremental
+  repair along the dispute path (asymmetric graphs fall back to the frozen
+  per-pair Dinic oracle).
 * :mod:`repro.graph.connectivity` — vertex connectivity and the ``2f + 1``
   connectivity requirement, plus vertex-disjoint path extraction.
 * :mod:`repro.graph.spanning_trees` — constructive packing of capacity-disjoint
@@ -21,13 +25,25 @@ The paper models the network as a synchronous point-to-point network
   topology generators used by the workloads and benchmarks.
 """
 
-from repro.graph.connectivity import vertex_connectivity, vertex_disjoint_paths
+from repro.graph.connectivity import (
+    has_vertex_connectivity_at_least,
+    vertex_connectivity,
+    vertex_disjoint_paths,
+)
 from repro.graph.flow_cache import (
     cached_max_flow_with_cut,
     clear_mincut_cache,
     graph_signature,
     cache_stats,
     mincut_cache_stats,
+)
+from repro.graph.gomory_hu import (
+    GomoryHuTree,
+    cached_gomory_hu,
+    clear_gomory_hu_cache,
+    gomory_hu_cache_stats,
+    gomory_hu_tree,
+    incremental_repair_stats,
 )
 from repro.graph.maxflow import all_max_flow_values, max_flow_value, max_flow_with_cut
 from repro.graph.mincut import broadcast_mincut, min_pairwise_undirected_mincut, st_mincut
@@ -53,7 +69,14 @@ __all__ = [
     "clear_mincut_cache",
     "mincut_cache_stats",
     "cache_stats",
+    "GomoryHuTree",
+    "gomory_hu_tree",
+    "cached_gomory_hu",
+    "clear_gomory_hu_cache",
+    "gomory_hu_cache_stats",
+    "incremental_repair_stats",
     "vertex_connectivity",
+    "has_vertex_connectivity_at_least",
     "vertex_disjoint_paths",
     "pack_arborescences",
     "clear_pack_cache",

@@ -71,6 +71,21 @@ class MinCutCache:
         self.lifetime_hits += 1
         return value
 
+    def peek(self, key: Hashable):
+        """Return the cached value for ``key`` or ``None``, counting nothing.
+
+        For opportunistic probes ("is a solved structure already here?") that
+        must not skew the hit/miss statistics of callers who did not commit
+        to this cache answering their query.  LRU order is still refreshed on
+        a hit, so peeked-at structures stay warm.
+        """
+        try:
+            value = self._entries[key]
+        except KeyError:
+            return None
+        self._entries.move_to_end(key)
+        return value
+
     def store(self, key: Hashable, value) -> None:
         """Insert ``key -> value``, evicting least-recently-used entries."""
         self._entries[key] = value
@@ -148,6 +163,36 @@ def cache_stats() -> Dict[str, object]:
     return _CACHE.stats()
 
 
+def seed_st_mincut(
+    signature: GraphSignature, source: NodeId, sink: NodeId, value: int
+) -> None:
+    """Seed the plain ``("st", ...)`` value key from an externally solved flow.
+
+    Used by the Gomory–Hu layer so tree-derived values and value-only queries
+    share one cache namespace: a later :func:`cached_st_mincut` on the same
+    endpoints is a hit without re-solving.
+    """
+    _CACHE.store(("st", signature, source, sink), value)
+
+
+def seed_max_flow_with_cut(
+    signature: GraphSignature,
+    source: NodeId,
+    sink: NodeId,
+    value: int,
+    cut,
+) -> None:
+    """Seed both the ``("st-cut", ...)`` and plain ``("st", ...)`` keys.
+
+    ``cut`` is the source side of a minimum cut; it is stored as a
+    ``frozenset`` (the cached_max_flow_with_cut invariant).  Seeding the
+    plain value key too keeps the namespaces shared regardless of which
+    query arrives first.
+    """
+    _CACHE.store(("st-cut", signature, source, sink), (value, frozenset(cut)))
+    _CACHE.store(("st", signature, source, sink), value)
+
+
 def cached_st_mincut(
     graph: NetworkGraph,
     source: NodeId,
@@ -155,6 +200,10 @@ def cached_st_mincut(
     signature: GraphSignature | None = None,
 ) -> int:
     """``MINCUT(G, source, sink)`` through the cache.
+
+    On a miss, an *already cached* Gomory–Hu tree for this signature answers
+    the query as a tree-path minimum (a single ``st`` query never justifies
+    building one); otherwise the per-pair Dinic oracle solves it.
 
     Raises:
         GraphError: if either endpoint is missing or they coincide.
@@ -168,7 +217,13 @@ def cached_st_mincut(
     key = ("st", signature, source, sink)
     value = _CACHE.lookup(key)
     if value is None:
-        value = max_flow_value(graph, source, sink)
+        from repro.graph.gomory_hu import tree_if_cached
+
+        tree = tree_if_cached(signature)
+        if tree is not None:
+            value = tree.mincut(source, sink)
+        else:
+            value = max_flow_value(graph, source, sink)
         _CACHE.store(key, value)
     return value
 
@@ -227,7 +282,15 @@ def cached_all_target_mincuts(
     key = ("all-targets", signature, source)
     cached = _CACHE.lookup(key)
     if cached is None:
-        targets = [node for node in graph.nodes() if node != source]
-        cached = all_max_flow_values(graph, source, targets)
+        from repro.graph.gomory_hu import cached_gomory_hu
+
+        tree = cached_gomory_hu(graph, signature=signature)
+        if tree is not None and tree.node_count() > 1:
+            # Undirected-equivalent graph: n - 1 solves build the tree once,
+            # then every source is a single tree walk.
+            cached = tree.all_target_mincuts(source)
+        else:
+            targets = [node for node in graph.nodes() if node != source]
+            cached = all_max_flow_values(graph, source, targets)
         _CACHE.store(key, cached)
     return dict(cached)

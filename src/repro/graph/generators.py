@@ -27,7 +27,7 @@ import random
 from typing import Dict, List, Sequence
 
 from repro.exceptions import GraphError
-from repro.graph.connectivity import vertex_connectivity
+from repro.graph.connectivity import has_vertex_connectivity_at_least
 from repro.graph.network_graph import NetworkGraph
 from repro.types import Edge, NodeId
 
@@ -171,6 +171,7 @@ def random_connected_network(
     rng: random.Random,
     max_capacity: int = 4,
     extra_edge_probability: float = 0.3,
+    symmetric: bool = False,
 ) -> NetworkGraph:
     """A random bidirectional network with vertex connectivity at least ``min_connectivity``.
 
@@ -178,7 +179,9 @@ def random_connected_network(
     the requested connectivity, add random extra links, then assign each link
     an independent random capacity in ``[1, max_capacity]`` (both directions of
     a link may get different capacities, making the network genuinely
-    direction-asymmetric).
+    direction-asymmetric).  With ``symmetric=True`` one capacity is drawn per
+    undirected link and used in both directions, producing an
+    undirected-equivalent graph (the regime the Gomory-Hu layer accelerates).
 
     Raises:
         GraphError: if the requested connectivity cannot be met with
@@ -220,9 +223,11 @@ def random_connected_network(
         graph.add_node(node)
     for pair in sorted(undirected_pairs, key=lambda p: tuple(sorted(p))):
         a, b = sorted(pair)
-        graph.add_edge(a, b, rng.randint(1, max_capacity))
-        graph.add_edge(b, a, rng.randint(1, max_capacity))
-    if vertex_connectivity(graph) < min_connectivity:  # pragma: no cover - construction guard
+        forward = rng.randint(1, max_capacity)
+        backward = forward if symmetric else rng.randint(1, max_capacity)
+        graph.add_edge(a, b, forward)
+        graph.add_edge(b, a, backward)
+    if not has_vertex_connectivity_at_least(graph, min_connectivity):  # pragma: no cover - construction guard
         raise GraphError("random network construction failed to reach the requested connectivity")
     return graph
 
@@ -234,4 +239,171 @@ def uniform_random_capacities(
     graph = NetworkGraph()
     for tail, head in edges:
         graph.add_edge(tail, head, rng.randint(1, max_capacity))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Datacenter-scale families (PR 8).  All four generators are deterministic
+# (no RNG), number nodes from 1, and emit symmetric graphs — every link is a
+# pair of equal-capacity anti-parallel edges — so the whole analysis path
+# runs on Gomory-Hu trees instead of per-pair flows.
+
+
+def _add_link(graph: NetworkGraph, a: NodeId, b: NodeId, capacity: int) -> None:
+    """Add the symmetric link ``{a, b}`` unless it already exists."""
+    if a != b and not graph.has_edge(a, b):
+        graph.add_edge(a, b, capacity)
+        graph.add_edge(b, a, capacity)
+
+
+def fat_tree(k: int, capacity: int = 4) -> NetworkGraph:
+    """A ``k``-ary fat-tree fabric: ``(k/2)^2`` cores + ``k`` pods of ``k`` switches.
+
+    The classic 3-tier Clos topology of datacenter networks.  Core switches
+    ``(g, m)`` for ``g, m < k/2`` are numbered first; each pod then holds
+    ``k/2`` aggregation and ``k/2`` edge switches.  Core ``(g, m)`` connects
+    to aggregation switch ``g`` of every pod; within a pod, aggregation and
+    edge switches form a complete bipartite graph.  Total nodes:
+    ``5 k^2 / 4`` (``k = 8`` gives 80, ``k = 16`` gives 320); vertex
+    connectivity ``k / 2``.
+
+    Raises:
+        GraphError: if ``k`` is odd or below 4, or the capacity is not positive.
+    """
+    if k < 4 or k % 2:
+        raise GraphError(f"fat-tree arity must be even and >= 4, got {k}")
+    if capacity < 1:
+        raise GraphError("capacity must be positive")
+    half = k // 2
+    graph = NetworkGraph()
+    core = {(g, m): g * half + m + 1 for g in range(half) for m in range(half)}
+    next_id = half * half + 1
+    for _pod in range(k):
+        aggregation = list(range(next_id, next_id + half))
+        edge = list(range(next_id + half, next_id + k))
+        next_id += k
+        for g in range(half):
+            for m in range(half):
+                _add_link(graph, core[(g, m)], aggregation[g], capacity)
+        for agg in aggregation:
+            for leaf in edge:
+                _add_link(graph, agg, leaf, capacity)
+    return graph
+
+
+def torus_2d(rows: int, cols: int, capacity: int = 2) -> NetworkGraph:
+    """A ``rows x cols`` wraparound 2D torus: every node links to 4 neighbours.
+
+    The standard HPC / TPU-pod interconnect.  Node at ``(r, c)`` has
+    identifier ``r * cols + c + 1``.  Vertex connectivity 4 (each node has
+    exactly four distinct neighbours when both dimensions are >= 3).
+
+    Raises:
+        GraphError: if either dimension is below 3 or the capacity is not
+            positive.
+    """
+    if rows < 3 or cols < 3:
+        raise GraphError(f"torus dimensions must be >= 3, got {rows}x{cols}")
+    if capacity < 1:
+        raise GraphError("capacity must be positive")
+    graph = NetworkGraph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c + 1
+            right = r * cols + ((c + 1) % cols) + 1
+            down = ((r + 1) % rows) * cols + c + 1
+            _add_link(graph, node, right, capacity)
+            _add_link(graph, node, down, capacity)
+    return graph
+
+
+def ring_of_rings(
+    ring_count: int,
+    ring_size: int,
+    local_capacity: int = 4,
+    express_capacity: int = 8,
+    uplinks: int = 2,
+) -> NetworkGraph:
+    """An optical ring-of-rings fabric (InfiniteHBD-style reconfigurable rings).
+
+    ``ring_count`` local rings of ``ring_size`` nodes each; node ``i`` of
+    ring ``r`` has identifier ``r * ring_size + i + 1``.  Within a ring,
+    adjacent nodes link at ``local_capacity`` (plus distance-2 chords when
+    the ring has at least 5 nodes, so a local ring alone is 4-connected).
+    ``uplinks`` evenly spaced positions of each ring carry express links of
+    ``express_capacity`` to the same positions of both neighbouring rings.
+    Vertex connectivity is ``min(4, uplinks)`` for ``ring_size >= 5`` —
+    choose ``uplinks >= 3`` for ``f = 1`` feasibility.
+
+    Raises:
+        GraphError: if fewer than 3 rings, rings smaller than 3 nodes,
+            ``uplinks`` outside ``[1, ring_size]``, or a non-positive capacity.
+    """
+    if ring_count < 3:
+        raise GraphError(f"need at least 3 rings, got {ring_count}")
+    if ring_size < 3:
+        raise GraphError(f"rings need at least 3 nodes, got {ring_size}")
+    if not 1 <= uplinks <= ring_size:
+        raise GraphError(f"uplinks must be in [1, {ring_size}], got {uplinks}")
+    if local_capacity < 1 or express_capacity < 1:
+        raise GraphError("capacities must be positive")
+    graph = NetworkGraph()
+
+    def node(ring: int, position: int) -> NodeId:
+        return (ring % ring_count) * ring_size + (position % ring_size) + 1
+
+    for ring in range(ring_count):
+        for position in range(ring_size):
+            _add_link(graph, node(ring, position), node(ring, position + 1), local_capacity)
+            if ring_size >= 5:
+                _add_link(graph, node(ring, position), node(ring, position + 2), local_capacity)
+    uplink_positions = [(ring_size * j) // uplinks for j in range(uplinks)]
+    for ring in range(ring_count):
+        for position in uplink_positions:
+            _add_link(graph, node(ring, position), node(ring + 1, position), express_capacity)
+    return graph
+
+
+def octopus_pods(
+    pod_count: int,
+    pod_size: int,
+    spine_width: int = 3,
+    intra_capacity: int = 2,
+    spine_capacity: int = 8,
+) -> NetworkGraph:
+    """A sparse Octopus-style pod fabric: meshed pods joined by thin spines.
+
+    ``pod_count`` pods of ``pod_size`` nodes each; node ``i`` of pod ``p``
+    has identifier ``p * pod_size + i + 1``.  Each pod is a full mesh at
+    ``intra_capacity``; the first ``spine_width`` nodes of every pod carry
+    index-matched spine links of ``spine_capacity`` to the corresponding
+    nodes of pods ``p + 1`` and ``p + 2`` (mod ``pod_count``), so the
+    inter-pod graph stays connected under single-pod loss.  Vertex
+    connectivity ``min(spine_width, pod_size - 1)``.
+
+    Raises:
+        GraphError: if fewer than 3 pods, pods smaller than 2 nodes,
+            ``spine_width`` outside ``[1, pod_size]``, or a non-positive
+            capacity.
+    """
+    if pod_count < 3:
+        raise GraphError(f"need at least 3 pods, got {pod_count}")
+    if pod_size < 2:
+        raise GraphError(f"pods need at least 2 nodes, got {pod_size}")
+    if not 1 <= spine_width <= pod_size:
+        raise GraphError(f"spine_width must be in [1, {pod_size}], got {spine_width}")
+    if intra_capacity < 1 or spine_capacity < 1:
+        raise GraphError("capacities must be positive")
+    graph = NetworkGraph()
+
+    def node(pod: int, index: int) -> NodeId:
+        return (pod % pod_count) * pod_size + index + 1
+
+    for pod in range(pod_count):
+        for a in range(pod_size):
+            for b in range(a + 1, pod_size):
+                _add_link(graph, node(pod, a), node(pod, b), intra_capacity)
+        for index in range(spine_width):
+            _add_link(graph, node(pod, index), node(pod + 1, index), spine_capacity)
+            _add_link(graph, node(pod, index), node(pod + 2, index), spine_capacity)
     return graph

@@ -92,7 +92,14 @@ class _DinicSolver:
             iterators[node] += 1
         return 0
 
-    def max_flow(self, source: NodeId, sink: NodeId) -> int:
+    def max_flow(self, source: NodeId, sink: NodeId, limit: int | None = None) -> int:
+        """Maximum flow value, optionally stopping once ``limit`` is reached.
+
+        With a ``limit``, augmentation stops as soon as the accumulated flow
+        reaches it and ``limit`` is returned — the exact value is then only
+        known to be ``>= limit``.  Threshold queries (is the connectivity at
+        least ``k``?) use this to avoid saturating large cuts.
+        """
         if source not in self._adjacency or sink not in self._adjacency:
             raise GraphError("source or sink not present in the flow network")
         if source == sink:
@@ -105,6 +112,8 @@ class _DinicSolver:
                 return total
             iterators = {node: 0 for node in self._adjacency}
             while True:
+                if limit is not None and total >= limit:
+                    return total
                 pushed = self._dfs_augment(source, sink, infinity, levels, iterators)
                 if pushed == 0:
                     break

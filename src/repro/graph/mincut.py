@@ -49,11 +49,23 @@ def broadcast_mincut(graph: NetworkGraph, source: NodeId) -> int:
     Phase 1 can broadcast unreliably.
 
     Raises:
-        GraphError: if the graph has no node other than the source.
+        GraphError: if the source is missing or the graph has no other node.
     """
-    cuts = all_target_mincuts(graph, source)
-    if not cuts:
+    if not graph.has_node(source):
+        raise GraphError(f"source {source} is not in the graph")
+    if graph.node_count() < 2:
         raise GraphError("broadcast min-cut needs at least one node besides the source")
+    # On an undirected-equivalent graph the broadcast min-cut equals the
+    # *global* undirected min-cut for every source (min_j mincut(s, j) is at
+    # least the global minimum, and every global cut separates the source
+    # from someone), which one Gomory-Hu tree answers for all sources at
+    # once — including decrementally repaired trees along the dispute path.
+    from repro.graph.gomory_hu import cached_global_mincut
+
+    value = cached_global_mincut(graph)
+    if value is not None:
+        return value
+    cuts = all_target_mincuts(graph, source)
     return min(cuts.values())
 
 

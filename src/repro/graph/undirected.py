@@ -145,14 +145,18 @@ class UndirectedView:
         if not self.is_connected():
             return 0
         digraph = self._symmetric_digraph()
-        # For undirected global/pairwise min-cuts it suffices to anchor one
-        # endpoint: min over j != anchor of mincut(anchor, j) equals the global
-        # minimum pairwise cut only for the *global* min-cut; here we need the
-        # full pairwise minimum, but by symmetry of undirected cuts the minimum
-        # over all pairs equals the minimum over pairs containing the anchor
-        # only for the global min cut value.  The definition of U_k uses the
-        # minimum over *all* pairs, which equals the undirected global min-cut,
-        # so anchoring is valid: every cut separates the anchor from some node.
+        # The minimum over *all* pairs equals the undirected global min-cut
+        # (every cut separates some pair, and every pair cut is a cut), which
+        # the Gomory-Hu layer serves as the smallest tree edge — memoised per
+        # signature, and exact even on decrementally repaired trees.
+        from repro.graph.gomory_hu import cached_global_mincut
+
+        value = cached_global_mincut(digraph, signature=self._signature)
+        if value is not None:
+            return value
+        # Unreachable in practice (the symmetric digraph is by construction
+        # undirected-equivalent) but kept as the oracle-path fallback: every
+        # cut separates the anchor from some node, so anchoring is valid.
         anchor = nodes[0]
         return min(
             cached_all_target_mincuts(digraph, anchor, signature=self._signature).values()

@@ -45,6 +45,22 @@ _TOPOLOGY_BUILDERS: Dict[str, Callable[[], NetworkGraph]] = {
     "random7": lambda: generators.random_connected_network(
         7, 3, random.Random(2), max_capacity=4
     ),
+    # Datacenter-scale families (PR 8): deterministic symmetric fabrics at
+    # 64-1024 nodes, analysed bounds-only via the datacenter_scale spec.
+    # fat-tree-k has 5k^2/4 nodes and connectivity k/2; torus RxC has RC
+    # nodes and connectivity 4; ring-of-rings and octopus fabrics use 3
+    # uplinks / spine width 3 so the 64-node members stay f = 1 feasible.
+    "fat-tree-8": lambda: generators.fat_tree(8, capacity=4),
+    "fat-tree-16": lambda: generators.fat_tree(16, capacity=4),
+    "torus-8x8": lambda: generators.torus_2d(8, 8, capacity=2),
+    "torus-16x16": lambda: generators.torus_2d(16, 16, capacity=2),
+    "torus-32x32": lambda: generators.torus_2d(32, 32, capacity=2),
+    "ring-rings-8x8": lambda: generators.ring_of_rings(8, 8, uplinks=3),
+    "ring-rings-16x16": lambda: generators.ring_of_rings(16, 16, uplinks=3),
+    "ring-rings-32x32": lambda: generators.ring_of_rings(32, 32, uplinks=3),
+    "octopus-8x8": lambda: generators.octopus_pods(8, 8, spine_width=3),
+    "octopus-16x16": lambda: generators.octopus_pods(16, 16, spine_width=3),
+    "octopus-32x32": lambda: generators.octopus_pods(32, 32, spine_width=3),
 }
 
 

@@ -1,4 +1,4 @@
-"""The benchmark runner's artifact guard: empty ``suites`` dicts are failures."""
+"""The benchmark runner's artifact guard and the baseline comparison rules."""
 
 from __future__ import annotations
 
@@ -7,16 +7,24 @@ import json
 import os
 
 
-def _load_run_all():
+def _load_bench_module(filename, module_name):
     path = os.path.join(
         os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         "benchmarks",
-        "run_all.py",
+        filename,
     )
-    spec = importlib.util.spec_from_file_location("bench_run_all", path)
+    spec = importlib.util.spec_from_file_location(module_name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_run_all():
+    return _load_bench_module("run_all.py", "bench_run_all")
+
+
+def _load_compare_bench():
+    return _load_bench_module("compare_bench.py", "bench_compare")
 
 
 def _write(path, payload):
@@ -44,3 +52,44 @@ def test_clean_directory_passes(tmp_path):
         {"benchmark": "ok", "fast_mode": False, "suites": {"s": {"wall_seconds": 1}}},
     )
     assert run_all.check_artifacts(str(tmp_path)) == []
+
+
+class TestCompareBenchTolerance:
+    def test_fresh_only_suite_is_never_a_regression(self):
+        compare = _load_compare_bench()
+        fresh = {
+            "fast_mode": False,
+            "suites": {
+                "existing": {"wall_seconds": 1.0},
+                "brand_new": {"wall_seconds": 99.0},
+            },
+        }
+        baseline = {"fast_mode": False, "suites": {"existing": {"wall_seconds": 1.0}}}
+        rows = {
+            row["suite"]: row
+            for row in compare.compare_artifact(fresh, baseline, threshold=0.20)
+        }
+        assert rows["brand_new"]["status"] == "new suite (no baseline)"
+        assert rows["existing"]["status"] == "ok"
+        assert all(row["status"] != "REGRESSION" for row in rows.values())
+
+    def test_mode_mismatch_is_incomparable_not_regression(self):
+        compare = _load_compare_bench()
+        fresh = {"fast_mode": True, "suites": {"s": {"wall_seconds": 50.0}}}
+        baseline = {"fast_mode": False, "suites": {"s": {"wall_seconds": 1.0}}}
+        (row,) = compare.compare_artifact(fresh, baseline, threshold=0.20)
+        assert row["status"] == "incomparable (fast/full mode mismatch)"
+
+    def test_genuine_slowdown_still_flagged(self):
+        compare = _load_compare_bench()
+        fresh = {"fast_mode": False, "suites": {"s": {"wall_seconds": 2.0}}}
+        baseline = {"fast_mode": False, "suites": {"s": {"wall_seconds": 1.0}}}
+        (row,) = compare.compare_artifact(fresh, baseline, threshold=0.20)
+        assert row["status"] == "REGRESSION"
+
+    def test_missing_wall_seconds_reports_no_baseline(self):
+        compare = _load_compare_bench()
+        fresh = {"fast_mode": False, "suites": {"s": {"wall_seconds": 1.0}}}
+        baseline = {"fast_mode": False, "suites": {"s": {"note": "no timing"}}}
+        (row,) = compare.compare_artifact(fresh, baseline, threshold=0.20)
+        assert row["status"] == "no baseline"
