@@ -1,0 +1,86 @@
+"""Adversarial-search throughput: candidates/second and best objective found.
+
+Runs :func:`repro.adversary.search.run_search` on the ``adversary_zoo``
+arena (k7-unit, f = 2) with a fixed seed and budget, and records in
+``BENCH_adversary_search.json``:
+
+* candidates evaluated per second (each candidate is a full engine cell:
+  scenario build, 8-instance NAB run, bounds, forensic audit),
+* the best objective value the fixed-budget search reaches, so search
+  *effectiveness* is tracked from PR to PR alongside its speed — a refactor
+  that keeps the iteration rate but loses the worst case is a regression.
+
+The search is deterministic, so the best score for a given (seed, budget) is
+a constant of the code; the assertion that it strictly beats the hand-written
+ceiling (1 dispute-control execution on this arena) keeps the artifact
+honest.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from fractions import Fraction
+
+from _harness import scaled, suite_result, time_callable, write_results
+from repro.adversary.search import run_search
+
+TOPOLOGY = "k7-unit"
+SEED = 0
+BUDGET = scaled(48, 6)
+#: Forced dispute-control executions of the best hand-written strategy on
+#: this arena (every one forces exactly 1; see the adversary_zoo spec).
+HAND_WRITTEN_CEILING = Fraction(1)
+
+
+def _search(out_path):
+    return run_search(
+        TOPOLOGY,
+        objective="dispute-control",
+        budget=BUDGET,
+        seed=SEED,
+        out_path=out_path,
+        max_faults=2,
+        resume=False,
+    )
+
+
+def test_adversary_search_throughput(benchmark):
+    def _run():
+        with tempfile.TemporaryDirectory() as tmp:
+            out_path = os.path.join(tmp, "search.jsonl")
+            seconds, summary = time_callable(lambda: _search(out_path))
+        return seconds, summary
+
+    seconds, summary = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    assert summary.iterations == BUDGET
+    assert summary.best_score is not None
+
+    rate = BUDGET / seconds if seconds > 0 else 0.0
+    print()
+    print(f"search on {TOPOLOGY}: {BUDGET} candidates in {seconds:.2f}s "
+          f"({rate:.1f} candidates/s)")
+    print(f"best objective (dispute-control): {summary.best_score}")
+    print(f"best strategy_params: {summary.best_row.get('strategy_params')}")
+
+    path = write_results(
+        "adversary_search",
+        {
+            "search": suite_result(
+                seconds,
+                operations=BUDGET,
+                topology=TOPOLOGY,
+                seed=SEED,
+                objective="dispute-control",
+                best_score=str(summary.best_score),
+                best_strategy_params=summary.best_row.get("strategy_params"),
+                best_faulty_nodes=summary.best_row.get("faulty_nodes"),
+            ),
+        },
+    )
+    print(f"wrote {path}")
+    assert summary.best_score > HAND_WRITTEN_CEILING, (
+        f"fixed-budget search no longer beats the hand-written ceiling: "
+        f"{summary.best_score} <= {HAND_WRITTEN_CEILING}"
+    )

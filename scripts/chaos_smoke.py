@@ -13,6 +13,11 @@ Exercises the PR 6 crash-tolerance contract end to end through the real CLI:
 4. The recovered JSONL must be byte-identical to the uninterrupted
    reference, and nothing may have been quarantined.
 
+Then exercises the adversarial-search driver's resume contract the same way:
+run a small ``repro.adversary.search`` budget uninterrupted to a reference
+trajectory, SIGKILL a fresh run mid-search, resume it, and demand the
+recovered JSONL is byte-identical to the reference.
+
 Exit status is nonzero on any violation, so CI can gate on it.
 
 Usage:
@@ -31,6 +36,8 @@ import time
 SPEC = "nab_vs_classical_quick"
 WORKERS = 2
 DRIVER_TIMEOUT = 300
+SEARCH_TOPOLOGY = "k7-unit"
+SEARCH_BUDGET = 8
 
 
 def _repo_root() -> str:
@@ -52,6 +59,74 @@ def _sweep_cmd(out_path: str, workers: int) -> list:
         "--out", out_path,
         "--workers", str(workers),
     ]
+
+
+def _search_cmd(out_path: str) -> list:
+    return [
+        sys.executable, "-m", "repro.adversary.search",
+        "--topology", SEARCH_TOPOLOGY,
+        "--budget", str(SEARCH_BUDGET),
+        "--out", out_path,
+    ]
+
+
+def _search_stage(tmp: str, root: str, env: dict) -> int:
+    """Kill the adversarial search mid-trajectory, resume, demand byte-identity."""
+    reference = os.path.join(tmp, "search-reference.jsonl")
+    chaos = os.path.join(tmp, "search-chaos.jsonl")
+
+    print(f"[chaos] search reference run: {SEARCH_TOPOLOGY}, "
+          f"budget {SEARCH_BUDGET}")
+    subprocess.run(
+        _search_cmd(reference), env=env, cwd=root,
+        check=True, timeout=DRIVER_TIMEOUT,
+    )
+
+    print("[chaos] search chaos run: SIGKILL the driver mid-trajectory")
+    driver = subprocess.Popen(
+        _search_cmd(chaos), env=env, cwd=root, start_new_session=True,
+    )
+    try:
+        # Wait until at least one candidate row is persisted, then kill the
+        # driver before the budget is exhausted.
+        deadline = time.time() + 60
+        while time.time() < deadline and driver.poll() is None:
+            if os.path.exists(chaos) and os.path.getsize(chaos) > 0:
+                break
+            time.sleep(0.05)
+        if driver.poll() is None:
+            print(f"[chaos] SIGKILL search driver pid {driver.pid}")
+            os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+        driver.wait(timeout=60)
+    finally:
+        if driver.poll() is None:
+            try:
+                os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+            driver.wait(timeout=60)
+
+    print("[chaos] search resume run")
+    subprocess.run(
+        _search_cmd(chaos), env=env, cwd=root,
+        check=True, timeout=DRIVER_TIMEOUT,
+    )
+
+    with open(reference, "rb") as handle:
+        want = handle.read()
+    with open(chaos, "rb") as handle:
+        got = handle.read()
+    if want != got:
+        print("[chaos] FAIL: recovered search trajectory is not "
+              "byte-identical to the uninterrupted reference")
+        return 1
+    if not want:
+        print("[chaos] FAIL: reference search produced no rows")
+        return 1
+    rows = want.count(b"\n")
+    print(f"[chaos] OK: {rows} search rows, recovered trajectory "
+          "byte-identical to the uninterrupted reference")
+    return 0
 
 
 def _worker_pids(driver_pid: int) -> list:
@@ -150,6 +225,10 @@ def main() -> int:
         rows = want.count(b"\n")
         print(f"[chaos] OK: {rows} rows, recovered sweep byte-identical "
               "to the uninterrupted reference")
+
+        status = _search_stage(tmp, root, env)
+        if status:
+            return status
     return 0
 
 

@@ -8,6 +8,12 @@ sending garbage during the Equality Check, announcing false flags to force
 needless dispute control, lying during dispute control, and corrupting the
 classical sub-broadcasts.  They are all deterministic (optionally seeded) so
 experiments are reproducible.
+
+:mod:`repro.adversary.zoo` builds structured adversaries out of composable
+parts (stage timing, coalition rotation, dispute-state-adaptive targeting,
+relay tampering), and :mod:`repro.adversary.search` explores the product of
+strategy compositions, faulty placements and timing parameters for worst
+cases.
 """
 
 from repro.adversary.strategies import (
@@ -19,6 +25,18 @@ from repro.adversary.strategies import (
     Phase1CorruptingRelayStrategy,
     RandomizedChaosStrategy,
     SubBroadcastLiarStrategy,
+    chaos_stream,
+)
+from repro.adversary.zoo import (
+    AdaptiveDisputeDodgerStrategy,
+    AdversaryLattice,
+    ColludingRotationStrategy,
+    ComposedStrategy,
+    RelayEquivocatorStrategy,
+    RelayTamperStrategy,
+    StageTimedStrategy,
+    build_composed,
+    zoo_strategy_factories,
 )
 
 __all__ = [
@@ -30,4 +48,14 @@ __all__ = [
     "DisputeLiarStrategy",
     "SubBroadcastLiarStrategy",
     "RandomizedChaosStrategy",
+    "chaos_stream",
+    "AdversaryLattice",
+    "ComposedStrategy",
+    "StageTimedStrategy",
+    "ColludingRotationStrategy",
+    "RelayEquivocatorStrategy",
+    "AdaptiveDisputeDodgerStrategy",
+    "RelayTamperStrategy",
+    "build_composed",
+    "zoo_strategy_factories",
 ]

@@ -3,6 +3,13 @@
 Each strategy overrides only the hooks relevant to its attack; everything else
 follows the honest protocol, which is the hardest case for detection (a noisy
 attacker that corrupts everything is trivially caught).
+
+Every strategy accepts a ``seed`` keyword and stores it, so the scenario /
+experiment-engine seed is threaded uniformly through every factory.  The
+hand-written strategies are deterministic functions of their arguments — their
+default behaviour does not depend on the seed — which keeps historically
+committed experiment grids byte-identical while letting seeded strategies
+(chaos, and the zoo in :mod:`repro.adversary.zoo`) consume it.
 """
 
 from __future__ import annotations
@@ -14,6 +21,24 @@ from repro.transport.faults import ByzantineStrategy
 from repro.types import NodeId
 
 
+def chaos_stream(seed: int, *key: Any) -> random.Random:
+    """The frozen per-decision RNG of :class:`RandomizedChaosStrategy`.
+
+    One generator per ``(seed, call-site key)`` makes every decision a pure
+    function of its arguments: the same cell replayed under the sweep runner,
+    the pipelined executor or the adversarial search driver draws exactly the
+    same stream regardless of call order or interleaving.  CPython seeds
+    ``random.Random`` from a string via SHA-512, so the stream is also stable
+    across processes and ``PYTHONHASHSEED`` values.
+
+    This derivation is FROZEN: committed experiment grids (the
+    ``nab_vs_classical`` comparison among them) embed its outputs, so any
+    change to the key layout or the draw order is a silently corpus-breaking
+    change.  A regression test pins literal draws from this stream.
+    """
+    return random.Random("|".join([str(seed)] + [repr(part) for part in key]))
+
+
 class CrashStrategy(ByzantineStrategy):
     """Omission faults: the node "sends nothing", modelled as all-zero / default values.
 
@@ -22,6 +47,9 @@ class CrashStrategy(ByzantineStrategy):
     """
 
     name = "crash"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
 
     def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
         return 0
@@ -54,8 +82,9 @@ class EquivocatingSourceStrategy(ByzantineStrategy):
 
     name = "equivocating-source"
 
-    def __init__(self, flip_mask: int = 1) -> None:
+    def __init__(self, flip_mask: int = 1, seed: int = 0) -> None:
         self.flip_mask = flip_mask
+        self.seed = seed
 
     def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
         # Children with even identifiers receive a corrupted symbol.
@@ -69,8 +98,9 @@ class Phase1CorruptingRelayStrategy(ByzantineStrategy):
 
     name = "phase1-corrupting-relay"
 
-    def __init__(self, flip_mask: int = 1) -> None:
+    def __init__(self, flip_mask: int = 1, seed: int = 0) -> None:
         self.flip_mask = flip_mask
+        self.seed = seed
 
     def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
         return true_symbol ^ self.flip_mask
@@ -86,8 +116,9 @@ class EqualityGarbageStrategy(ByzantineStrategy):
 
     name = "equality-garbage"
 
-    def __init__(self, offset: int = 1) -> None:
+    def __init__(self, offset: int = 1, seed: int = 0) -> None:
         self.offset = offset
+        self.seed = seed
 
     def equality_check_vector(self, instance, node, neighbor, true_vector):
         return [symbol ^ self.offset for symbol in true_vector]
@@ -97,6 +128,9 @@ class FalseFlagStrategy(ByzantineStrategy):
     """A faulty node announces MISMATCH even though its checks all passed."""
 
     name = "false-flag"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
 
     def equality_check_flag(self, instance, node, true_flag):
         return True
@@ -112,8 +146,9 @@ class DisputeLiarStrategy(ByzantineStrategy):
 
     name = "dispute-liar"
 
-    def __init__(self, flip_mask: int = 1) -> None:
+    def __init__(self, flip_mask: int = 1, seed: int = 0) -> None:
         self.flip_mask = flip_mask
+        self.seed = seed
 
     def phase1_forward_symbol(self, instance, node, tree_index, child, true_symbol):
         return true_symbol ^ self.flip_mask
@@ -135,12 +170,21 @@ class SubBroadcastLiarStrategy(ByzantineStrategy):
 
     name = "sub-broadcast-liar"
 
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
     def broadcast_value(self, instance, node, receiver, context, true_value):
         return ("lie", receiver % 2)
 
 
 class RandomizedChaosStrategy(ByzantineStrategy):
-    """Seeded random misbehaviour on every hook (for property-based robustness tests)."""
+    """Seeded random misbehaviour on every hook (for property-based robustness tests).
+
+    Every decision draws from :func:`chaos_stream` keyed by the full call-site
+    identity, so two cells with the same seed replay identically no matter how
+    the search driver, the sweep runner or the pipelined executor interleave
+    hook invocations.
+    """
 
     name = "randomized-chaos"
 
@@ -148,7 +192,7 @@ class RandomizedChaosStrategy(ByzantineStrategy):
         self.seed = seed
 
     def _rng(self, *key: Any) -> random.Random:
-        return random.Random("|".join([str(self.seed)] + [repr(part) for part in key]))
+        return chaos_stream(self.seed, *key)
 
     def phase1_source_symbol(self, instance, tree_index, child, true_symbol):
         rng = self._rng("p1src", instance, tree_index, child)

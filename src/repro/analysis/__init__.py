@@ -5,8 +5,17 @@
   measured throughput against the analytical bounds.
 * :mod:`repro.analysis.reporting` — plain-text tables in the style of the
   figures/claims the benchmarks regenerate (also used by EXPERIMENTS.md).
+* :mod:`repro.analysis.forensics` — pod-style accountability: per-node
+  evidence of misbehaviour extracted from the transport ledger and dispute
+  records, with zero false accusations of honest nodes.
 """
 
+from repro.analysis.forensics import (
+    ForensicRecorder,
+    ForensicReport,
+    analyze_records,
+    audit_rows,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.throughput import (
     PipelineGap,
@@ -29,4 +38,8 @@ __all__ = [
     "amortization_curve",
     "verify_agreement_and_validity",
     "format_table",
+    "ForensicRecorder",
+    "ForensicReport",
+    "analyze_records",
+    "audit_rows",
 ]

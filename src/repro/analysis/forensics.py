@@ -1,0 +1,251 @@
+"""Pod-style ledger forensics: accountable evidence of misbehaviour per node.
+
+NAB's dispute-control phase already extracts *protocol-level* evidence (pairs
+in dispute, DC3-identified nodes).  This module layers an after-the-fact
+accountability pass over the **transport ledger** — what was actually
+delivered on every link, which every fault-free node can reconstruct — in the
+spirit of accountable-broadcast ("pod") designs: every accusation is backed by
+a concrete, checkable contradiction, and honest nodes are *never* accused.
+
+Evidence sources, strongest first:
+
+1. **DC3 identification** — the agreed claims table is inconsistent with the
+   deterministic algorithm (re-used verbatim from dispute control).
+2. **Ledger/claims contradiction** — the node's Byzantine-broadcast claims
+   about what it sent and received differ from the delivered transcript.
+   Honest claims *are* the delivered transcript (see
+   :func:`repro.core.phase3_dispute.honest_claims`), and the classical
+   broadcast's validity preserves an honest sender's claims, so only a lying
+   node can contradict the ledger.
+3. **Flag forgery** — the flag a node announced in step 2.2 differs from the
+   flag its delivered equality-check inputs imply.
+4. **Dispute accumulation** — replaying all recorded disputes through a fresh
+   :class:`repro.core.dispute_state.DisputeState` yields the over-disputed
+   (``> f`` partners) and DC4-intersection nodes.
+
+Soundness (no honest node is ever accused) is property-tested across the
+whole adversary zoo; completeness is necessarily weaker — a Byzantine node
+that behaves honestly is indistinguishable from an honest one — so the
+guarantee is: every node that *caused* a dispute appears among the suspects,
+and every accusation names a truly faulty node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dispute_state import DisputeState
+from repro.types import NodeId
+
+
+class ForensicRecorder:
+    """Collects one public-ledger evidence record per NAB instance.
+
+    Pass an instance to :class:`repro.core.nab.NetworkAwareBroadcast` (the
+    ``recorder`` argument); every instance that reaches Phase 2 calls
+    :meth:`record` with a plain dict of transcripts, flags and agreed claims.
+    The recorder is deliberately decoupled from the protocol core — it only
+    ever receives data every fault-free node holds.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    def record(self, evidence: Dict[str, Any]) -> None:
+        """Store one instance's evidence record."""
+        self.records.append(evidence)
+
+    def analyze(self) -> "ForensicReport":
+        """Run the accountability pass over everything recorded so far."""
+        return analyze_records(self.records)
+
+
+@dataclass(frozen=True)
+class ForensicReport:
+    """Outcome of the accountability pass.
+
+    Attributes:
+        accused: Nodes with direct evidence of misbehaviour, each with the
+            (sorted) evidence descriptions backing the accusation.  Sound:
+            every accused node is truly faulty.
+        suspects: Endpoints of recorded disputes — for each disputed pair at
+            least one endpoint is faulty, but the ledger alone cannot always
+            say which, so suspects are *not* accusations.
+        disputes: All disputed pairs seen across the recorded instances.
+    """
+
+    accused: Mapping[NodeId, Tuple[str, ...]]
+    suspects: FrozenSet[NodeId]
+    disputes: Tuple[FrozenSet[NodeId], ...]
+
+    def accused_nodes(self) -> FrozenSet[NodeId]:
+        """The accused set without the per-node evidence."""
+        return frozenset(self.accused)
+
+
+def _vector_map(mapping: Any) -> Dict[Any, Tuple[Any, ...]]:
+    """Normalise an equality-claims mapping to tuples (lists and tuples compare unequal)."""
+    if not isinstance(mapping, Mapping):
+        return {}
+    normalized: Dict[Any, Tuple[Any, ...]] = {}
+    for key, value in mapping.items():
+        try:
+            normalized[key] = tuple(value)
+        except TypeError:
+            normalized[key] = (value,)
+    return normalized
+
+
+def _plain_map(mapping: Any) -> Dict[Any, Any]:
+    return dict(mapping) if isinstance(mapping, Mapping) else {}
+
+
+def _ledger_claims(record: Mapping[str, Any], node: NodeId) -> Dict[str, Any]:
+    """Reconstruct the claims an honest ``node`` must have made, from the ledger.
+
+    Mirrors :func:`repro.core.phase3_dispute.honest_claims` exactly, but
+    sourced from the recorded delivered transcript instead of live phase
+    objects — the whole point: any fault-free node can recompute this.
+    """
+    expected: Dict[str, Any] = {
+        "phase1_sent": {},
+        "phase1_received": {},
+        "equality_sent": {},
+        "equality_received": {},
+    }
+    for (tree_index, parent, child), symbol in record["phase1_sent"].items():
+        if parent == node:
+            expected["phase1_sent"][(tree_index, child)] = symbol
+    for (tree_index, child), symbol in record["phase1_received"].items():
+        if child == node:
+            expected["phase1_received"][tree_index] = symbol
+    for (tail, head), vector in record["equality_sent"].items():
+        if tail == node:
+            expected["equality_sent"][head] = tuple(vector)
+        if head == node:
+            expected["equality_received"][tail] = tuple(vector)
+    return expected
+
+
+def _claim_contradictions(
+    record: Mapping[str, Any], node: NodeId, claims: Any
+) -> List[str]:
+    """Every field where the node's agreed claims contradict the ledger."""
+    instance = record["instance"]
+    if not isinstance(claims, Mapping):
+        return [
+            f"instance {instance}: broadcast claims are not a claims table "
+            f"({type(claims).__name__})"
+        ]
+    expected = _ledger_claims(record, node)
+    contradictions: List[str] = []
+    for field in ("phase1_sent", "phase1_received"):
+        if _plain_map(claims.get(field)) != expected[field]:
+            contradictions.append(
+                f"instance {instance}: claimed {field} contradicts the ledger"
+            )
+    for field in ("equality_sent", "equality_received"):
+        if _vector_map(claims.get(field)) != expected[field]:
+            contradictions.append(
+                f"instance {instance}: claimed {field} contradicts the ledger"
+            )
+    return contradictions
+
+
+def analyze_records(records: Sequence[Mapping[str, Any]]) -> ForensicReport:
+    """The accountability pass: evidence rules 1-4 over all recorded instances."""
+    accused: Dict[NodeId, List[str]] = {}
+    disputes: List[FrozenSet[NodeId]] = []
+    max_faults = 0
+    participants: set = set()
+
+    def accuse(node: NodeId, reason: str) -> None:
+        accused.setdefault(node, []).append(reason)
+
+    for record in records:
+        instance = record["instance"]
+        max_faults = max(max_faults, record["max_faults"])
+        participants.update(record["participants"])
+        disputes.extend(frozenset(pair) for pair in record["new_disputes"])
+
+        # Rule 1: DC3 identification.
+        for node in record["identified"]:
+            accuse(node, f"instance {instance}: identified by DC3 consistency check")
+
+        # Rule 3: flag forgery (announced flag vs the flag the delivered
+        # inputs imply; the recorded true_flags are exactly that).
+        true_flags = record["true_flags"]
+        for node, announced in record["announced_flags"].items():
+            if bool(announced) != bool(true_flags.get(node, False)):
+                accuse(
+                    node,
+                    f"instance {instance}: announced flag {bool(announced)} "
+                    f"contradicts the computed flag {bool(true_flags.get(node, False))}",
+                )
+
+        # Rule 2: ledger/claims contradictions (only when dispute control ran
+        # and produced an agreed claims table).
+        claims_table = record.get("claims")
+        if claims_table is not None:
+            for node in record["participants"]:
+                if node not in claims_table:
+                    continue
+                for reason in _claim_contradictions(record, node, claims_table[node]):
+                    accuse(node, reason)
+
+    # Rule 4: dispute accumulation (over-disputed and DC4 intersection).
+    state = DisputeState(max_faults)
+    state.add_disputes(disputes)
+    for node in sorted(accused):
+        state.mark_faulty(node)
+    for node in sorted(state.implied_faulty(participants)):
+        if node not in accused:
+            accuse(node, "implied faulty by accumulated disputes (DC4 / over-disputed)")
+
+    suspects = frozenset(node for pair in disputes for node in pair)
+    return ForensicReport(
+        accused={node: tuple(reasons) for node, reasons in sorted(accused.items())},
+        suspects=suspects,
+        disputes=tuple(disputes),
+    )
+
+
+def audit_rows(rows: Sequence[Mapping[str, Any]]) -> List[str]:
+    """Audit persisted sweep rows for accountability violations.
+
+    For every row that executed a protocol, checks (against the row's own
+    ground-truth ``faulty_nodes``) that
+
+    * every identified-faulty node really is faulty (zero false accusations),
+    * every recorded dispute touches at least one faulty node (fault-free
+      pairs are never found in dispute),
+    * ``agreement_ok`` is true and ``validity_ok`` is not false.
+
+    Returns human-readable violation descriptions (empty = all clean).  The
+    adversarial search driver runs this on every explored row and escalates
+    any violation to a :class:`repro.exceptions.ReproductionFinding`.
+    """
+    violations: List[str] = []
+    for row in rows:
+        record = row.get("record")
+        if not isinstance(record, Mapping):
+            continue
+        cell_id = row.get("cell_id", "<unknown cell>")
+        faulty = set(row.get("faulty_nodes") or ())
+        metadata = record.get("metadata") or {}
+        for node in metadata.get("identified_faulty", ()):
+            if node not in faulty:
+                violations.append(
+                    f"{cell_id}: fault-free node {node} identified as faulty"
+                )
+        for pair in metadata.get("disputes", ()):
+            if not set(pair) & faulty:
+                violations.append(
+                    f"{cell_id}: dispute {sorted(pair)} between fault-free nodes"
+                )
+        if record.get("agreement_ok") is not True:
+            violations.append(f"{cell_id}: agreement_ok is {record.get('agreement_ok')!r}")
+        if record.get("validity_ok") is False:
+            violations.append(f"{cell_id}: validity_ok is False")
+    return violations

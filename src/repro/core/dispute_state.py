@@ -68,6 +68,10 @@ class DisputeState:
         """Number of distinct disputed pairs."""
         return len(self._disputes)
 
+    def is_disputed(self, a: NodeId, b: NodeId) -> bool:
+        """Whether the pair ``{a, b}`` has been found in dispute."""
+        return node_pair(a, b) in self._disputes
+
     def dispute_partners(self, node: NodeId) -> Set[NodeId]:
         """Nodes that ``node`` has been found in dispute with."""
         partners: Set[NodeId] = set()

@@ -135,6 +135,7 @@ class NABInstance:
         instance: int,
         coding_seed: int = 0,
         network_factory: NetworkFactory | None = None,
+        recorder=None,
     ) -> None:
         self.graph = graph
         self.source = source
@@ -146,6 +147,11 @@ class NABInstance:
         self.network_factory = (
             network_factory if network_factory is not None else SynchronousNetwork
         )
+        #: Optional forensic recorder (``repro.analysis.forensics``): when set,
+        #: every instance that reaches Phase 2 deposits its ledger evidence —
+        #: transcripts, flags, agreed claims — via ``recorder.record(...)``.
+        #: ``None`` (the default) changes nothing.
+        self.recorder = recorder
 
     # ----------------------------------------------------------------- running
 
@@ -159,6 +165,19 @@ class NABInstance:
         instance_graph = self.dispute_state.instance_graph(self.graph)
         all_nodes = self.graph.nodes()
         fault_free = self.fault_model.fault_free(all_nodes)
+
+        # The adversary knows everything public: topology, instance graph,
+        # source, and the agreed dispute state (a private copy — mutating it
+        # cannot influence the protocol).  Adaptive strategies use this to
+        # retarget away from already-disputed edges.
+        self.fault_model.strategy.observe_instance(
+            self.instance,
+            self.graph,
+            instance_graph,
+            self.source,
+            self.max_faults,
+            self.dispute_state.copy(),
+        )
 
         # Special case 1: the source has been identified as faulty.
         if not instance_graph.has_node(self.source):
@@ -216,6 +235,7 @@ class NABInstance:
         )
 
         if not phase2.mismatch_announced:
+            self._record_evidence(participants, phase1, phase2, None)
             outputs = {
                 node: phase1.values[node]
                 for node in fault_free
@@ -240,6 +260,7 @@ class NABInstance:
             self.max_faults,
             instance=self.instance,
         )
+        self._record_evidence(participants, phase1, phase2, phase3)
         # Update the shared dispute state (all fault-free nodes do this
         # identically because the claims table is agreed via Byzantine
         # broadcast).
@@ -259,6 +280,39 @@ class NABInstance:
         )
 
     # ----------------------------------------------------------------- helpers
+
+    def _record_evidence(self, participants, phase1, phase2, phase3) -> None:
+        """Deposit this instance's public ledger with the forensic recorder.
+
+        Everything recorded is information every fault-free node holds after
+        the instance completes: the transport ledger (delivered Phase 1
+        symbols and equality-check vectors), the agreed flag vector, and —
+        when dispute control ran — the agreed claims table with its verdicts.
+        The set of actually-faulty nodes is deliberately *not* included; the
+        forensic pass must reconstruct culpability from public evidence only.
+        """
+        if self.recorder is None:
+            return
+        self.recorder.record(
+            {
+                "instance": self.instance,
+                "source": self.source,
+                "participants": tuple(sorted(participants)),
+                "max_faults": self.max_faults,
+                "tree_parents": tuple(dict(tree.parents) for tree in phase1.trees),
+                "phase1_sent": dict(phase1.sent_symbols),
+                "phase1_received": dict(phase1.received_symbols),
+                "equality_sent": {
+                    edge: tuple(vector)
+                    for edge, vector in phase2.check.sent_vectors.items()
+                },
+                "true_flags": dict(phase2.check.flags),
+                "announced_flags": dict(phase2.announced_flags),
+                "claims": None if phase3 is None else phase3.claims,
+                "new_disputes": () if phase3 is None else phase3.new_disputes,
+                "identified": () if phase3 is None else phase3.identified_faulty,
+            }
+        )
 
     def _result(
         self,

@@ -115,6 +115,7 @@ class NetworkAwareBroadcast:
         coding_seed: int = 0,
         validate_connectivity: bool = True,
         network_factory: NetworkFactory | None = None,
+        recorder=None,
     ) -> None:
         if not graph.has_node(source):
             raise ProtocolError(f"source {source} is not a node of the network")
@@ -136,6 +137,10 @@ class NetworkAwareBroadcast:
         self.fault_model.validate_for(node_count, max_faults)
         self.coding_seed = coding_seed
         self.network_factory = network_factory
+        #: Optional :class:`repro.analysis.forensics.ForensicRecorder`; when
+        #: set, every instance deposits its public ledger for the
+        #: accountability pass.  ``None`` leaves behaviour untouched.
+        self.recorder = recorder
         self.dispute_state = DisputeState(max_faults)
         self._instances_run = 0
 
@@ -156,6 +161,7 @@ class NetworkAwareBroadcast:
             instance=self._instances_run,
             coding_seed=self.coding_seed,
             network_factory=self.network_factory,
+            recorder=self.recorder,
         )
         result = executor.run(input_bits, total_bits)
         self._instances_run += 1

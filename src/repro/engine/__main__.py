@@ -74,6 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list", "--list-specs", dest="list_specs", action="store_true",
         help="list available specs and exit",
     )
+    parser.add_argument(
+        "--list-strategies", dest="list_strategies", action="store_true",
+        help="list registered adversary strategies (usable in spec strategy "
+             "axes and as search components) and exit",
+    )
     return parser
 
 
@@ -87,10 +92,24 @@ def _list_specs() -> int:
     return 0
 
 
+def _list_strategies() -> int:
+    from repro.workloads import make_strategy, named_strategies
+
+    for name in named_strategies():
+        strategy = make_strategy(name, seed=0)
+        doc = (type(strategy).__doc__ or "").strip().splitlines()
+        print(name)
+        if doc:
+            print(f"    {doc[0]}")
+    return 0
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list_specs:
         return _list_specs()
+    if args.list_strategies:
+        return _list_strategies()
     if not args.spec:
         print("error: --spec is required (use --list-specs to see available specs)",
               file=sys.stderr)

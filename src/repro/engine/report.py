@@ -30,6 +30,9 @@ def _scenario_key(row: Dict[str, object]) -> Tuple:
         row.get("execution", "sequential"),
         row.get("link_model", "instant"),
         row.get("fault_plan", "none"),
+        # Distinct parameterisations of the same strategy (e.g. two
+        # "composed" cells with different components) are distinct scenarios.
+        row.get("strategy_params", ""),
     )
 
 
@@ -59,10 +62,15 @@ def render_comparison(rows: Sequence[Dict[str, object]]) -> str:
     ] + ["Eq.6 bound", "Thm.2 bound", "nab/capacity"]
     table: List[List[object]] = []
     for key, scenario in scenarios.items():
-        topology_name, strategy, payload_bytes, max_faults, execution, model, plan = key
+        (topology_name, strategy, payload_bytes, max_faults,
+         execution, model, plan, params) = key
         mode = execution if model == "instant" else f"{execution}+{model}"
         if plan != "none":
             mode += f"+{plan}"
+        if params:
+            # Mark parameterised strategies; the full canonical JSON lives in
+            # the row itself and would not fit a table cell.
+            strategy = f"{strategy}*"
         line: List[object] = [
             topology_name, strategy, 8 * payload_bytes, max_faults, mode,
         ]

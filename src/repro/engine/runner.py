@@ -116,6 +116,10 @@ def run_cell(cell: Cell) -> Dict[str, object]:
         # plan (clean by construction) reproduces the fault-free rows
         # byte-identically even though it routes through the ARQ transport.
         row["fault_plan"] = cell.fault_plan
+    if cell.strategy_params:
+        # Same conditional-key idiom: parameterless grids keep their exact
+        # pre-existing byte layout.
+        row["strategy_params"] = cell.strategy_params
     try:
         memo_key = (cell.topology, scenario.source, cell.max_faults)
         analysis = _ANALYSIS_MEMO.get(memo_key)

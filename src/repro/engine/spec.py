@@ -15,8 +15,9 @@ failing at run time, so specs can list topology and fault axes freely.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
 
 from repro.exceptions import ConfigurationError
 from repro.graph.connectivity import meets_connectivity_requirement
@@ -27,9 +28,21 @@ from repro.workloads.scenarios import (
     Scenario,
     adversarial_scenario,
     fault_free_scenario,
+    make_strategy,
     named_strategies,
+    strategy_attacks_source,
 )
 from repro.workloads.topologies import topology
+
+
+def canonical_params(params: Mapping[str, object]) -> str:
+    """Canonical JSON for a strategy-parameter mapping (sorted keys, no spaces).
+
+    The canonical string is what cell ids embed and what persisted rows carry,
+    so byte-identical parameters always produce byte-identical cell ids and
+    derived seeds.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
 
 #: Strategy-axis value meaning "no Byzantine nodes at all".
 FAULT_FREE = "fault-free"
@@ -88,6 +101,13 @@ class Cell:
     execution: str = SEQUENTIAL
     link_model: str = "instant"
     fault_plan: str = "none"
+    #: Canonical-JSON strategy parameters (see :func:`canonical_params`), or
+    #: the empty string for parameterless cells — the empty default keeps the
+    #: ids/seeds of every pre-existing grid untouched.  May carry a
+    #: ``"faulty_nodes"`` key overriding the default faulty-set placement
+    #: (consumed here, not by the strategy factory), which is how
+    #: search-found placements are committed in specs.
+    strategy_params: str = ""
     #: Analytical-bounds-only cell: the runner computes gamma*/rho*/Eq. 6/
     #: Theorem 2 and skips protocol execution entirely (``record`` is null).
     #: The datacenter-scale grids use this — executing a broadcast protocol
@@ -106,6 +126,8 @@ class Cell:
                 seed=self.seed,
                 source=self.source,
             )
+        params = json.loads(self.strategy_params) if self.strategy_params else {}
+        params.pop("faulty_nodes", None)  # placement, consumed at expansion
         return adversarial_scenario(
             topology_name=self.topology,
             strategy_name=self.strategy,
@@ -115,6 +137,7 @@ class Cell:
             max_faults=self.max_faults,
             seed=self.seed,
             source=self.source,
+            strategy_params=params or None,
         )
 
 
@@ -167,6 +190,12 @@ class ExperimentSpec:
     base_seed: int = 0
     description: str = ""
     kernel_backend: str = ""
+    #: Per-strategy parameter mappings, keyed by strategy name.  Parameters
+    #: are validated at expansion, serialised canonically onto each cell
+    #: (``Cell.strategy_params``) and appended to the cell id as ``|sp=...``
+    #: — so parameterless grids keep their historical ids and seeds.  A
+    #: ``"faulty_nodes"`` entry overrides the default faulty-set placement.
+    strategy_params: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
     #: When true, every expanded cell is analytical-bounds-only (see
     #: :attr:`Cell.bounds_only`); cell ids gain a ``|bounds`` suffix so the
     #: ids (and derived seeds) of ordinary grids are untouched.
@@ -183,8 +212,11 @@ class ExperimentSpec:
         """
         if strategy == FAULT_FREE:
             return ()
+        override = self.strategy_params.get(strategy, {}).get("faulty_nodes")
+        if override is not None:
+            return tuple(sorted(override))
         non_source = [node for node in nodes if node != self.source]
-        if strategy == "equivocating-source":
+        if strategy_attacks_source(strategy):
             extras = sorted(non_source, reverse=True)[: max_faults - 1]
             return tuple(sorted([self.source] + extras))
         return tuple(sorted(sorted(non_source, reverse=True)[:max_faults]))
@@ -202,6 +234,33 @@ class ExperimentSpec:
                 raise ConfigurationError(
                     f"spec {self.name!r} references unknown strategy {strategy!r}"
                 )
+        for strategy, params in self.strategy_params.items():
+            if strategy == FAULT_FREE or strategy not in known:
+                raise ConfigurationError(
+                    f"spec {self.name!r} has strategy_params for "
+                    f"{strategy!r}, which is not a parametrisable strategy"
+                )
+            probe = dict(params)
+            override = probe.pop("faulty_nodes", None)
+            if override is not None:
+                nodes = list(override)
+                if not nodes or any(
+                    isinstance(node, bool) or not isinstance(node, int)
+                    for node in nodes
+                ) or len(nodes) != len(set(nodes)):
+                    raise ConfigurationError(
+                        f"spec {self.name!r}: faulty_nodes override for "
+                        f"{strategy!r} must be distinct node ids, got {override!r}"
+                    )
+                if strategy in self.strategies and any(
+                    len(nodes) > f for f in self.fault_counts
+                ):
+                    raise ConfigurationError(
+                        f"spec {self.name!r}: faulty_nodes override for "
+                        f"{strategy!r} exceeds a listed fault count"
+                    )
+            # Instantiating validates the parameter names and values.
+            make_strategy(strategy, 0, probe)
         for execution in self.executions:
             if execution not in EXECUTIONS:
                 raise ConfigurationError(
@@ -251,6 +310,17 @@ class ExperimentSpec:
                     faulty = self._faulty_nodes(
                         strategy, node_lists[topology_name], max_faults
                     )
+                    if not set(faulty) <= set(node_lists[topology_name]):
+                        raise ConfigurationError(
+                            f"spec {self.name!r}: faulty_nodes {sorted(faulty)} "
+                            f"are not all nodes of topology {topology_name!r}"
+                        )
+                    params = (
+                        {}
+                        if strategy == FAULT_FREE
+                        else self.strategy_params.get(strategy, {})
+                    )
+                    params_json = canonical_params(params) if params else ""
                     for payload in self.payload_bytes:
                         for protocol in self.protocols:
                             for execution in self.executions:
@@ -278,6 +348,8 @@ class ExperimentSpec:
                                             cell_id += f"|lm={model}"
                                         if plan != "none":
                                             cell_id += f"|fp={plan}"
+                                        if params_json:
+                                            cell_id += f"|sp={params_json}"
                                         if self.bounds_only:
                                             cell_id += "|bounds"
                                         cells.append(
@@ -298,6 +370,7 @@ class ExperimentSpec:
                                                 execution=execution,
                                                 link_model=model,
                                                 fault_plan=plan,
+                                                strategy_params=params_json,
                                                 bounds_only=self.bounds_only,
                                             )
                                         )

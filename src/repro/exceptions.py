@@ -70,6 +70,17 @@ class ConfigurationError(ReproError):
     """Raised when scenario or workload configuration is inconsistent."""
 
 
+class ReproductionFinding(ReproError):
+    """Raised when an experiment produces evidence *against* the paper's claims.
+
+    The adversarial search driver (:mod:`repro.adversary.search`) raises this
+    when any explored scenario flips ``agreement_ok``/``validity_ok`` at
+    ``f <= max_faults`` — a reproduction-level finding that must abort loudly
+    (after persisting the offending row) rather than being averaged away into
+    an objective score.
+    """
+
+
 class SchedulerError(ReproError):
     """Raised for invalid discrete-event schedules.
 

@@ -120,6 +120,35 @@ class ByzantineStrategy:
         """Transcript claims a faulty node broadcasts during dispute control."""
         return true_claims
 
+    # ----------------------------------------------------- observation hooks
+
+    def observe_faulty_nodes(self, faulty: FrozenSet[NodeId]) -> None:
+        """Called once when the strategy is bound to a fault model.
+
+        The paper's adversary controls all its nodes jointly, so a strategy
+        serving a coalition learns the full membership up front (e.g. to run a
+        deterministic per-instance rotation over its members).  The base
+        strategy ignores it.
+        """
+
+    def observe_instance(
+        self,
+        instance: int,
+        graph: Any,
+        instance_graph: Any,
+        source: NodeId,
+        max_faults: int,
+        dispute_state: Any,
+    ) -> None:
+        """Called at the start of every NAB instance with the public state.
+
+        ``dispute_state`` is a private copy of the fault-free nodes' agreed
+        :class:`repro.core.dispute_state.DisputeState` — public knowledge the
+        paper's adversary trivially has, which adaptive strategies use to
+        retarget away from already-disputed edges.  Mutating the copy has no
+        effect on the protocol.  The base strategy ignores the call.
+        """
+
 
 class FaultModel:
     """The set of Byzantine nodes together with their strategy.
@@ -145,6 +174,7 @@ class FaultModel:
             raise ProtocolError("faulty node list contains duplicates")
         self._faulty: FrozenSet[NodeId] = frozenset(faulty_list)
         self.strategy = strategy if strategy is not None else ByzantineStrategy()
+        self.strategy.observe_faulty_nodes(self._faulty)
 
     @property
     def faulty_nodes(self) -> FrozenSet[NodeId]:

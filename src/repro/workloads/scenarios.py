@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.adversary.strategies import (
     CrashStrategy,
@@ -26,47 +26,94 @@ from repro.adversary.strategies import (
     RandomizedChaosStrategy,
     SubBroadcastLiarStrategy,
 )
+from repro.adversary.zoo import zoo_strategy_factories
 from repro.exceptions import ConfigurationError
 from repro.graph.network_graph import NetworkGraph
 from repro.transport.faults import ByzantineStrategy, FaultModel
 from repro.types import NodeId
 from repro.workloads.topologies import topology
 
+
+def _options(params: Optional[Mapping[str, object]], *allowed: str) -> Dict[str, object]:
+    """Validate a strategy's parameter mapping against its accepted keys."""
+    options = dict(params or {})
+    unknown = set(options) - set(allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown strategy parameter(s): {sorted(unknown)}; accepted: {sorted(allowed) or 'none'}"
+        )
+    return options
+
+
 #: Factories keyed by public strategy name.  Each factory takes the scenario
-#: seed; deterministic strategies ignore it, seeded ones (chaos) consume it.
-_STRATEGY_FACTORIES: Dict[str, Callable[[int], ByzantineStrategy]] = {
-    "phase1-relay": lambda seed: Phase1CorruptingRelayStrategy(),
-    "equivocating-source": lambda seed: EquivocatingSourceStrategy(),
-    "equality-garbage": lambda seed: EqualityGarbageStrategy(),
-    "false-flag": lambda seed: FalseFlagStrategy(),
-    "dispute-liar": lambda seed: DisputeLiarStrategy(),
-    "chaos": lambda seed: RandomizedChaosStrategy(seed=seed),
-    "crash": lambda seed: CrashStrategy(),
-    "sub-broadcast-liar": lambda seed: SubBroadcastLiarStrategy(),
+#: seed plus an optional parameter mapping; the seed is threaded into every
+#: strategy (deterministic strategies store it without changing behaviour,
+#: seeded ones — chaos and the zoo — consume it).
+_STRATEGY_FACTORIES: Dict[str, Callable[..., ByzantineStrategy]] = {
+    "phase1-relay": lambda seed, params=None: Phase1CorruptingRelayStrategy(
+        seed=seed, **_options(params, "flip_mask")
+    ),
+    "equivocating-source": lambda seed, params=None: EquivocatingSourceStrategy(
+        seed=seed, **_options(params, "flip_mask")
+    ),
+    "equality-garbage": lambda seed, params=None: EqualityGarbageStrategy(
+        seed=seed, **_options(params, "offset")
+    ),
+    "false-flag": lambda seed, params=None: FalseFlagStrategy(
+        seed=seed, **_options(params)
+    ),
+    "dispute-liar": lambda seed, params=None: DisputeLiarStrategy(
+        seed=seed, **_options(params, "flip_mask")
+    ),
+    "chaos": lambda seed, params=None: RandomizedChaosStrategy(
+        seed=seed, **_options(params)
+    ),
+    "crash": lambda seed, params=None: CrashStrategy(seed=seed, **_options(params)),
+    "sub-broadcast-liar": lambda seed, params=None: SubBroadcastLiarStrategy(
+        seed=seed, **_options(params)
+    ),
 }
+_STRATEGY_FACTORIES.update(zoo_strategy_factories())
 
 
 def named_strategies() -> List[str]:
-    """All available adversary strategy names, sorted."""
+    """All available adversary strategy names (hand-written and zoo), sorted."""
     return sorted(_STRATEGY_FACTORIES)
 
 
-def make_strategy(name: str, seed: int = 0) -> ByzantineStrategy:
+def strategy_attacks_source(name: str) -> bool:
+    """Whether the named strategy requires the *source* to be faulty.
+
+    Experiment specs use this to place the faulty set: a source-attacking
+    strategy puts the adversary at the source (so validity is unconstrained),
+    every other strategy corrupts relays/participants away from it.
+    """
+    return name == "equivocating-source"
+
+
+def make_strategy(
+    name: str,
+    seed: int = 0,
+    params: Optional[Mapping[str, object]] = None,
+) -> ByzantineStrategy:
     """Instantiate the named adversary strategy.
 
     Args:
         name: One of :func:`named_strategies`.
-        seed: Determinism seed for strategies with random behaviour (chaos);
-            deterministic strategies ignore it.
+        seed: Determinism seed, threaded into every strategy; strategies with
+            random behaviour (chaos, the zoo) consume it.
+        params: Optional strategy-specific parameters (the ``strategy_params``
+            of a spec cell), e.g. ``{"targets": 1}`` for ``adaptive-dodger``
+            or a full composition for ``composed``.
 
     Raises:
-        ConfigurationError: if the strategy name is unknown.
+        ConfigurationError: if the strategy name or a parameter is unknown.
     """
     if name not in _STRATEGY_FACTORIES:
         raise ConfigurationError(
             f"unknown strategy {name!r}; available: {', '.join(named_strategies())}"
         )
-    return _STRATEGY_FACTORIES[name](seed)
+    return _STRATEGY_FACTORIES[name](seed, params)
 
 
 @dataclass(frozen=True)
@@ -141,14 +188,16 @@ def adversarial_scenario(
     seed: int = 0,
     strategy: Optional[ByzantineStrategy] = None,
     source: NodeId = 1,
+    strategy_params: Optional[Mapping[str, object]] = None,
 ) -> Scenario:
     """A scenario with Byzantine nodes following a named (or custom) strategy.
 
     Raises:
-        ConfigurationError: if the strategy name is unknown.
+        ConfigurationError: if the strategy name or a strategy parameter is
+            unknown.
     """
     if strategy is None:
-        strategy = make_strategy(strategy_name, seed)
+        strategy = make_strategy(strategy_name, seed, strategy_params)
     graph = topology(topology_name)
     return Scenario(
         name=f"{strategy.name}/{topology_name}",
