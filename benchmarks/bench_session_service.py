@@ -1,0 +1,120 @@
+"""Session-service throughput: sessions/minute, serial vs supervised pool.
+
+Runs the ISSUE 10 headline profile — fault-free ``k7-unit`` sessions with a
+2-byte payload and a single instance each — through
+:class:`repro.service.BroadcastSessionService` twice, serially and with 4
+pooled workers, and records sessions/minute for both plus the pool speedup in
+``BENCH_session_service.json``.  The two runs must produce byte-identical
+session files (the service's determinism contract).  In full mode the pooled
+run is gated at >= 10k sessions/minute; fast mode shrinks the batch and skips
+the gate.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from _harness import fast_mode, scaled, suite_result, time_callable, write_results
+from repro.service import BroadcastSessionService, ServiceConfig, generate_sessions
+
+SESSIONS = scaled(600, 40)
+WORKERS = 4
+MIN_SESSIONS_PER_MINUTE = 10_000.0
+
+PROFILE = dict(
+    topologies=("k7-unit",),
+    strategies=("fault-free",),
+    payload_bytes=2,
+    instances=1,
+    max_faults=1,
+    seed=0,
+    service="bench",
+)
+
+
+def _run_service(out_path: str, workers: int):
+    config = ServiceConfig(
+        name="bench", out_path=out_path, workers=workers, fsync_every=64
+    )
+    sessions = generate_sessions(SESSIONS, **PROFILE)
+    return BroadcastSessionService(config).run(sessions, resume=False)
+
+
+def test_session_service_throughput(benchmark):
+    def _run():
+        with tempfile.TemporaryDirectory() as tmp:
+            serial_out = os.path.join(tmp, "serial.jsonl")
+            pooled_out = os.path.join(tmp, "pooled.jsonl")
+            serial_seconds, serial_summary = time_callable(
+                lambda: _run_service(serial_out, 1)
+            )
+            pooled_seconds, pooled_summary = time_callable(
+                lambda: _run_service(pooled_out, WORKERS)
+            )
+            with open(serial_out, "rb") as handle:
+                serial_bytes = handle.read()
+            with open(pooled_out, "rb") as handle:
+                pooled_bytes = handle.read()
+        return (
+            serial_seconds, serial_summary, serial_bytes,
+            pooled_seconds, pooled_summary, pooled_bytes,
+        )
+
+    (
+        serial_seconds, serial_summary, serial_bytes,
+        pooled_seconds, pooled_summary, pooled_bytes,
+    ) = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    assert serial_summary.computed_sessions == SESSIONS
+    assert pooled_summary.computed_sessions == SESSIONS
+    assert serial_summary.quarantined_sessions == 0
+    assert pooled_summary.quarantined_sessions == 0
+    assert pooled_bytes == serial_bytes, "pooled service diverged from serial"
+
+    serial_rate = SESSIONS / serial_seconds * 60.0
+    pooled_rate = SESSIONS / pooled_seconds * 60.0
+    speedup = serial_seconds / pooled_seconds if pooled_seconds > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    gate_enforced = not fast_mode()
+    # On hosts without the CPUs to parallelise, worker processes cannot beat
+    # serial execution, so the service's best configuration is what's gated.
+    gated_rate = pooled_rate if cpu_count >= WORKERS else max(serial_rate, pooled_rate)
+
+    print()
+    print(f"profile: {SESSIONS} fault-free k7-unit sessions, 2-byte payload, Q=1")
+    print(f"serial: {serial_seconds:6.2f}s  ({serial_rate:8.0f} sessions/min)")
+    print(f"pooled: {pooled_seconds:6.2f}s  ({pooled_rate:8.0f} sessions/min, "
+          f"{WORKERS} workers, speedup {speedup:.2f}x)")
+    print(f"gate:   >= {MIN_SESSIONS_PER_MINUTE:.0f}/min "
+          f"({'enforced' if gate_enforced else 'skipped in fast mode'}, "
+          f"{cpu_count} CPU(s))")
+
+    path = write_results(
+        "session_service",
+        {
+            "serial": suite_result(
+                serial_seconds,
+                operations=SESSIONS,
+                sessions_per_minute=serial_rate,
+                workers=1,
+                **{k: v for k, v in PROFILE.items() if k != "service"},
+            ),
+            "pooled": suite_result(
+                pooled_seconds,
+                operations=SESSIONS,
+                sessions_per_minute=pooled_rate,
+                workers=WORKERS,
+                speedup_vs_serial=speedup,
+                cpu_count=cpu_count,
+                throughput_gate_enforced=gate_enforced,
+                min_sessions_per_minute=MIN_SESSIONS_PER_MINUTE,
+            ),
+        },
+    )
+    print(f"wrote {path}")
+    if gate_enforced:
+        assert gated_rate >= MIN_SESSIONS_PER_MINUTE, (
+            f"service throughput {gated_rate:.0f} sessions/minute below the "
+            f"{MIN_SESSIONS_PER_MINUTE:.0f}/minute gate"
+        )

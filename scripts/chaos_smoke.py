@@ -18,6 +18,13 @@ run a small ``repro.adversary.search`` budget uninterrupted to a reference
 trajectory, SIGKILL a fresh run mid-search, resume it, and demand the
 recovered JSONL is byte-identical to the reference.
 
+Finally exercises the PR 10 session service through ``python -m
+repro.service``: SIGKILL one pool worker (the supervisor must respawn it and
+resume the session from its write-ahead-log checkpoint), then SIGKILL the
+whole driver mid-batch, restart the same command, and demand the recovered
+session file is byte-identical to an uninterrupted reference with nothing
+quarantined and a healthy ``--status`` exit code.
+
 Exit status is nonzero on any violation, so CI can gate on it.
 
 Usage:
@@ -38,6 +45,10 @@ WORKERS = 2
 DRIVER_TIMEOUT = 300
 SEARCH_TOPOLOGY = "k7-unit"
 SEARCH_BUDGET = 8
+SERVICE_SESSIONS = 200
+SERVICE_INSTANCES = 6
+SERVICE_TOPOLOGIES = "k7-unit,bottleneck4"
+SERVICE_WORKERS = 2
 
 
 def _repo_root() -> str:
@@ -125,6 +136,110 @@ def _search_stage(tmp: str, root: str, env: dict) -> int:
         return 1
     rows = want.count(b"\n")
     print(f"[chaos] OK: {rows} search rows, recovered trajectory "
+          "byte-identical to the uninterrupted reference")
+    return 0
+
+
+def _service_cmd(out_path: str) -> list:
+    return [
+        sys.executable, "-m", "repro.service",
+        "--out", out_path,
+        "--sessions", str(SERVICE_SESSIONS),
+        "--topologies", SERVICE_TOPOLOGIES,
+        "--instances", str(SERVICE_INSTANCES),
+        "--workers", str(SERVICE_WORKERS),
+        "--retry-backoff", "0.1",
+    ]
+
+
+def _service_stage(tmp: str, root: str, env: dict) -> int:
+    """Kill a session-service worker, then the driver; resume; byte-compare."""
+    reference = os.path.join(tmp, "sessions-reference.jsonl")
+    chaos = os.path.join(tmp, "sessions-chaos.jsonl")
+
+    print(f"[chaos] service reference run: {SERVICE_SESSIONS} sessions, "
+          f"{SERVICE_WORKERS} workers")
+    subprocess.run(
+        _service_cmd(reference), env=env, cwd=root,
+        check=True, timeout=DRIVER_TIMEOUT,
+    )
+
+    print("[chaos] service chaos run: SIGKILL a worker, then the driver")
+    driver = subprocess.Popen(
+        _service_cmd(chaos), env=env, cwd=root, start_new_session=True,
+    )
+    try:
+        # Wait for the pool to spin up, then murder one worker: the
+        # supervisor must respawn it and resume its in-flight session from
+        # the write-ahead log, not stall or restart the session from zero.
+        deadline = time.time() + 60
+        workers = []
+        while time.time() < deadline and not workers:
+            if driver.poll() is not None:
+                break
+            workers = _worker_pids(driver.pid)
+            if not workers:
+                time.sleep(0.05)
+        if workers and driver.poll() is None:
+            victim = workers[0]
+            print(f"[chaos] SIGKILL service worker pid {victim}")
+            try:
+                os.kill(victim, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+
+        # Let the batch make partial progress, then kill the whole process
+        # group mid-flight (driver included).
+        deadline = time.time() + 60
+        while time.time() < deadline and driver.poll() is None:
+            if os.path.exists(chaos) and os.path.getsize(chaos) > 0:
+                break
+            time.sleep(0.05)
+        if driver.poll() is None:
+            print(f"[chaos] SIGKILL service driver process group {driver.pid}")
+            os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+        driver.wait(timeout=60)
+    finally:
+        if driver.poll() is None:
+            try:
+                os.killpg(os.getpgid(driver.pid), signal.SIGKILL)
+            except (ProcessLookupError, OSError):
+                pass
+            driver.wait(timeout=60)
+
+    print("[chaos] service resume run")
+    subprocess.run(
+        _service_cmd(chaos), env=env, cwd=root,
+        check=True, timeout=DRIVER_TIMEOUT,
+    )
+
+    quarantine = chaos + ".quarantine.jsonl"
+    if os.path.exists(quarantine):
+        print(f"[chaos] FAIL: sessions were quarantined ({quarantine})")
+        return 1
+
+    status = subprocess.run(
+        [sys.executable, "-m", "repro.service", "--status", "--out", chaos],
+        env=env, cwd=root, timeout=DRIVER_TIMEOUT,
+    )
+    if status.returncode != 0:
+        print(f"[chaos] FAIL: --status reports degraded health "
+              f"(exit {status.returncode})")
+        return 1
+
+    with open(reference, "rb") as handle:
+        want = handle.read()
+    with open(chaos, "rb") as handle:
+        got = handle.read()
+    if want != got:
+        print("[chaos] FAIL: recovered session file is not byte-identical "
+              "to the uninterrupted reference")
+        return 1
+    if not want:
+        print("[chaos] FAIL: reference service run produced no rows")
+        return 1
+    rows = want.count(b"\n")
+    print(f"[chaos] OK: {rows} session rows, recovered service output "
           "byte-identical to the uninterrupted reference")
     return 0
 
@@ -227,6 +342,10 @@ def main() -> int:
               "to the uninterrupted reference")
 
         status = _search_stage(tmp, root, env)
+        if status:
+            return status
+
+        status = _service_stage(tmp, root, env)
         if status:
             return status
     return 0

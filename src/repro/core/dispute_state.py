@@ -168,6 +168,40 @@ class DisputeState:
         """An immutable snapshot ``(disputes, known_faulty)`` for equality checks in tests."""
         return frozenset(self._disputes), frozenset(self._known_faulty)
 
+    # ----------------------------------------------------------- serialisation
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-safe rendering of the accumulated dispute knowledge.
+
+        The layout is canonical (pairs sorted within and across, faulty ids
+        sorted) so ``json.dumps(..., sort_keys=True)`` of the result is a pure
+        function of the knowledge itself — the property the session service's
+        write-ahead snapshots rely on.  The cached ``instance_graph``
+        derivation anchor is deliberately not serialised: it is a pure
+        performance memo that the restored state rebuilds on first use.
+        """
+        return {
+            "max_faults": self.max_faults,
+            "disputes": sorted(sorted(pair) for pair in self._disputes),
+            "known_faulty": sorted(self._known_faulty),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Dict[str, object]) -> "DisputeState":
+        """Rebuild a state previously rendered by :meth:`to_jsonable`.
+
+        Raises:
+            ProtocolError: if the payload is malformed (a dispute without
+                exactly two distinct nodes, or a negative ``max_faults``).
+        """
+        state = cls(int(data["max_faults"]))
+        state.add_disputes(
+            frozenset(pair) for pair in data.get("disputes", ())
+        )
+        for node in data.get("known_faulty", ()):
+            state.mark_faulty(node)
+        return state
+
     def copy(self) -> "DisputeState":
         """An independent copy of this state."""
         clone = DisputeState(self.max_faults)

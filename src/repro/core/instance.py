@@ -82,6 +82,89 @@ class InstanceResult:
             raise ProtocolError(f"fault-free nodes disagree: {sorted(values)}")
         return next(iter(values))
 
+    def to_jsonable(self) -> Dict[str, object]:
+        """A JSON-safe rendering that :func:`instance_result_from_jsonable` inverts.
+
+        Every mapping key is a string and every exact rational a ``"p/q"``
+        string, matching the :meth:`repro.types.RunRecord.to_jsonable`
+        conventions, so session snapshots embedding these rows serialise
+        bit-for-bit reproducibly under ``json.dumps(..., sort_keys=True)``.
+        """
+        return {
+            "instance": self.instance,
+            "outputs": {str(node): value for node, value in self.outputs.items()},
+            "elapsed": str(self.elapsed),
+            "bits_sent": self.bits_sent,
+            "phase_timings": [
+                {
+                    "name": timing.name,
+                    "time_units": str(timing.time_units),
+                    "bits_sent": timing.bits_sent,
+                }
+                for timing in self.phase_timings
+            ],
+            "parameters": None
+            if self.parameters is None
+            else {
+                "gamma": self.parameters.gamma,
+                "omega": [list(nodes) for nodes in self.parameters.omega],
+                "uk": self.parameters.uk,
+                "rho": self.parameters.rho,
+            },
+            "dispute_control_ran": self.dispute_control_ran,
+            "new_disputes": [sorted(pair) for pair in self.new_disputes],
+            "newly_identified_faulty": list(self.newly_identified_faulty),
+            "mismatch_announced": self.mismatch_announced,
+            "link_bits": {
+                f"{tail}->{head}": bits
+                for (tail, head), bits in sorted(self.link_bits.items())
+            },
+            "phase1_depth": self.phase1_depth,
+        }
+
+
+def instance_result_from_jsonable(data: Dict[str, object]) -> InstanceResult:
+    """Rebuild an :class:`InstanceResult` rendered by :meth:`InstanceResult.to_jsonable`.
+
+    The round trip is exact: node ids come back as integers, times as
+    :class:`~fractions.Fraction`, disputes as frozensets — so a session
+    restored from a write-ahead snapshot aggregates its completed instances
+    into a :class:`repro.types.RunRecord` byte-identical to an uninterrupted
+    run's.
+    """
+    parameters = data.get("parameters")
+    return InstanceResult(
+        instance=int(data["instance"]),
+        outputs={int(node): value for node, value in data["outputs"].items()},
+        elapsed=Fraction(data["elapsed"]),
+        bits_sent=int(data["bits_sent"]),
+        phase_timings=tuple(
+            PhaseTiming(
+                name=timing["name"],
+                time_units=Fraction(timing["time_units"]),
+                bits_sent=int(timing["bits_sent"]),
+            )
+            for timing in data.get("phase_timings", ())
+        ),
+        parameters=None
+        if parameters is None
+        else InstanceParameters(
+            gamma=int(parameters["gamma"]),
+            omega=tuple(tuple(nodes) for nodes in parameters["omega"]),
+            uk=int(parameters["uk"]),
+            rho=int(parameters["rho"]),
+        ),
+        dispute_control_ran=bool(data["dispute_control_ran"]),
+        new_disputes=tuple(frozenset(pair) for pair in data.get("new_disputes", ())),
+        newly_identified_faulty=tuple(data.get("newly_identified_faulty", ())),
+        mismatch_announced=bool(data["mismatch_announced"]),
+        link_bits={
+            tuple(int(part) for part in edge.split("->")): bits
+            for edge, bits in data.get("link_bits", {}).items()
+        },
+        phase1_depth=data.get("phase1_depth"),
+    )
+
 
 def summarize_instances(
     results: "Sequence[InstanceResult]", inputs: "Sequence[bytes]"

@@ -221,6 +221,46 @@ class NetworkAwareBroadcast:
         """How many instances have been executed so far."""
         return self._instances_run
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """The JSON-safe cross-instance state of this run.
+
+        Everything an instance's execution depends on beyond the (immutable)
+        constructor arguments: the accumulated dispute knowledge and the index
+        of the next instance.  Together with the constructor arguments and the
+        pending inputs this fully determines the remainder of the run —
+        instances are deterministic — which is the contract the session
+        service's snapshot/restore relies on.
+        """
+        return {
+            "instances_run": self._instances_run,
+            "dispute_state": self.dispute_state.to_jsonable(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Adopt a state previously captured by :meth:`snapshot_state`.
+
+        The next :meth:`run_instance` call continues exactly where the
+        captured run stopped: same instance index, same dispute state, so its
+        outputs and bit counts equal the uninterrupted run's.
+
+        Raises:
+            ProtocolError: if the snapshot was taken with a different
+                ``max_faults`` or claims a negative instance index.
+        """
+        restored = DisputeState.from_jsonable(state["dispute_state"])
+        if restored.max_faults != self.max_faults:
+            raise ProtocolError(
+                f"snapshot was taken with max_faults={restored.max_faults}, "
+                f"this run uses {self.max_faults}"
+            )
+        instances_run = int(state["instances_run"])
+        if instances_run < 0:
+            raise ProtocolError(
+                f"snapshot claims a negative instance index {instances_run}"
+            )
+        self.dispute_state = restored
+        self._instances_run = instances_run
+
     def current_instance_graph(self) -> NetworkGraph:
         """The graph ``G_k`` the next instance would run on."""
         return self.dispute_state.instance_graph(self.graph)

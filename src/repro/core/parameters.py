@@ -9,19 +9,41 @@ For the ``k``-th NAB instance running on graph ``G_k``:
 
 All fault-free nodes compute these identically because they share the same
 dispute state.
+
+The full tuple is memoised on the canonical graph signature plus the dispute
+set: long-lived processes (the session service, engine sweeps) run thousands
+of instances over a handful of distinct ``(G_k, disputes)`` combinations, and
+the Omega/U_k computation is pure, so repeat instances reduce to a dictionary
+lookup.  The cache is bounded (LRU) and holds only immutable value objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 from repro.coding.omega import compute_rho, compute_uk, dispute_free_subgraphs
 from repro.exceptions import ProtocolError
+from repro.graph.flow_cache import MinCutCache, graph_signature
 from repro.graph.mincut import broadcast_mincut
 from repro.graph.network_graph import NetworkGraph
 from repro.core.dispute_state import DisputeState
 from repro.types import NodeId
+
+#: Bound on memoised parameter tuples; each entry is a few hundred bytes.
+PARAMETER_CACHE_ENTRIES = 4096
+
+_parameter_cache = MinCutCache(max_entries=PARAMETER_CACHE_ENTRIES)
+
+
+def instance_parameter_cache_stats() -> Dict[str, object]:
+    """Hit/miss statistics of the instance-parameter memo."""
+    return _parameter_cache.stats()
+
+
+def clear_instance_parameter_cache() -> None:
+    """Drop all memoised instance parameters (tests, workload switches)."""
+    _parameter_cache.clear()
 
 
 @dataclass(frozen=True)
@@ -66,6 +88,16 @@ def compute_instance_parameters(
         raise ProtocolError(
             f"source {source} is not in the instance graph; agree on a default instead"
         )
+    key = (
+        graph_signature(instance_graph),
+        source,
+        total_nodes,
+        max_faults,
+        dispute_state.disputes(),
+    )
+    cached = _parameter_cache.lookup(key)
+    if cached is not None:
+        return cached
     gamma = broadcast_mincut(instance_graph, source)
     subgraph_size = total_nodes - max_faults
     omega = tuple(
@@ -73,4 +105,6 @@ def compute_instance_parameters(
     )
     uk = compute_uk(instance_graph, omega)
     rho = compute_rho(uk)
-    return InstanceParameters(gamma=gamma, omega=omega, uk=uk, rho=rho)
+    params = InstanceParameters(gamma=gamma, omega=omega, uk=uk, rho=rho)
+    _parameter_cache.store(key, params)
+    return params

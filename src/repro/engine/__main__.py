@@ -170,6 +170,14 @@ def main(argv=None) -> int:
                 f" -> {summary.quarantine_path}"
             )
         print(line)
+    if summary.stale_quarantined_cells:
+        # A prior run's quarantine is still unresolved even though this run
+        # retried nothing — without this line a stale quarantine file would
+        # be silently ignored.
+        print(
+            f"stale quarantine: {summary.stale_quarantined_cells} cell(s) from a "
+            f"prior run still unresolved -> {summary.quarantine_path}"
+        )
     counters = summarize_rows(summary.rows)
     print(
         f"errors: {counters['errors']}  spec violations: {counters['spec_violations']}  "

@@ -285,6 +285,34 @@ def _write_rows_atomically(path: str, rows: Sequence[Dict[str, object]]) -> None
         os.close(dir_fd)
 
 
+def _count_unresolved_quarantine(
+    candidate: str, available: Dict[str, Dict[str, object]]
+) -> int:
+    """How many cells a leftover quarantine file names that are still missing.
+
+    Cells that have since completed (their id is in ``available``) are
+    vindicated; unparseable lines count as unresolved — a corrupt quarantine
+    file is itself worth reporting, not deleting.
+    """
+    unresolved = 0
+    try:
+        with open(candidate, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    unresolved += 1
+                    continue
+                if not isinstance(row, dict) or row.get("cell_id") not in available:
+                    unresolved += 1
+    except OSError:
+        return 0
+    return unresolved
+
+
 def _ends_with_newline(path: str) -> bool:
     """Whether the file's last byte is a newline (vacuously true when empty)."""
     try:
@@ -318,7 +346,12 @@ class RunSummary:
             budget (their identities live in the quarantine file, not in
             ``rows``).
         quarantine_path: The quarantine JSONL next to the output file, or
-            ``None`` when nothing was quarantined.
+            ``None`` when nothing was quarantined (this run or — still
+            unresolved — a prior one).
+        stale_quarantined_cells: Cells a *prior* run quarantined that this
+            run neither completed nor re-quarantined.  The leftover file is
+            kept in place and reported, never silently ignored — e.g. a
+            resume invoked with ``--limit`` that happened to retry nothing.
     """
 
     spec_name: str
@@ -332,6 +365,7 @@ class RunSummary:
     retried_cells: int = 0
     quarantined_cells: int = 0
     quarantine_path: Optional[str] = None
+    stale_quarantined_cells: int = 0
 
 
 def _worker_pool_main(conn: Connection) -> None:
@@ -645,15 +679,24 @@ def run_spec(
             profile_handle.write("".join(profile_sections))
 
     quarantine_path = None
+    stale_quarantined = 0
     if out_path:
         candidate = out_path + ".quarantine.jsonl"
         if quarantine_rows:
             _write_rows_atomically(candidate, quarantine_rows)
             quarantine_path = candidate
         elif os.path.exists(candidate):
-            # This run completed every previously quarantined cell: a stale
-            # quarantine file would misreport the sweep as degraded.
-            os.remove(candidate)
+            stale_quarantined = _count_unresolved_quarantine(candidate, available)
+            if stale_quarantined:
+                # The leftover file still names cells this run did not
+                # complete (e.g. a --limit resume that retried nothing):
+                # keep it and report it, so it cannot be silently ignored.
+                quarantine_path = candidate
+            else:
+                # This run completed every previously quarantined cell: a
+                # stale quarantine file would misreport the sweep as
+                # degraded.
+                os.remove(candidate)
 
     return RunSummary(
         spec_name=spec.name,
@@ -667,4 +710,5 @@ def run_spec(
         retried_cells=retried_cells,
         quarantined_cells=len(quarantine_rows),
         quarantine_path=quarantine_path,
+        stale_quarantined_cells=stale_quarantined,
     )

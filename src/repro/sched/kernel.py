@@ -35,16 +35,27 @@ from repro.exceptions import SchedulerError
 class EventQueue:
     """A deterministic priority queue of timed callbacks with an exact clock.
 
-    The clock starts at 0 and only moves forward: events may be scheduled at
-    any time ``>= now`` and are processed in ``(time, scheduling order)``
-    order.  Callbacks may schedule further events (at or after the current
-    event's time).
+    The clock starts at ``start`` (0 by default) and only moves forward:
+    events may be scheduled at any time ``>= now`` and are processed in
+    ``(time, scheduling order)`` order.  Callbacks may schedule further events
+    (at or after the current event's time).
+
+    A non-zero ``start`` restores a clock mid-flight — the session service
+    resumes a snapshotted run at the absolute time it stopped, and because the
+    kernel is a pure function of the scheduled events, the resumed timeline
+    equals the uninterrupted one shifted by nothing at all.
+
+    Raises:
+        SchedulerError: if ``start`` is negative.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, start: Fraction | int = 0) -> None:
+        start = Fraction(start)
+        if start < 0:
+            raise SchedulerError(f"the clock cannot start at negative time {start}")
         self._heap: List[Tuple[Fraction, int, Optional[Callable[[], None]]]] = []
         self._sequence = itertools.count()
-        self._now = Fraction(0)
+        self._now = start
 
     @property
     def now(self) -> Fraction:

@@ -1,0 +1,162 @@
+"""The service's ops surface: counters, gauges and cache statistics.
+
+Everything an operator needs to judge a long-running deployment at a glance:
+admission and completion counters, retry/quarantine tallies, snapshot and
+restore counts, queue depths, work-steal counts, per-session latency
+aggregates, and the hit rates of every warm cache (topology contexts, min-cut
+structure cache, GF kernel operand caches with their byte budgets).
+
+:meth:`ServiceMetrics.to_jsonable` is the schema persisted to
+``<out>.status.json`` and printed by ``python -m repro.service --status``;
+it is *operational* data — wall-clock rates live here, never in the
+canonical session rows, which must stay byte-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def rss_bytes() -> Optional[int]:
+    """This process's resident set size, or ``None`` where unreadable."""
+    try:
+        with open("/proc/self/status", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def process_cache_sample() -> Dict[str, object]:
+    """One process's warm-cache and memory sample (worker or serial driver).
+
+    Imported lazily so metrics stay constructible in processes that never
+    touched the protocol stack.  ``kernels`` carries each budgeted cache's
+    ``budget_bytes`` alongside its occupancy — the numbers the flat-memory
+    regression pins.
+    """
+    from repro.core.parameters import instance_parameter_cache_stats
+    from repro.gf.field import kernel_cache_stats
+    from repro.graph.flow_cache import cache_stats as mincut_cache_stats
+    from repro.service.session import topology_context_stats
+
+    return {
+        "topology_contexts": topology_context_stats(),
+        "instance_parameters": instance_parameter_cache_stats(),
+        "mincut": mincut_cache_stats(),
+        "kernels": kernel_cache_stats(),
+        "rss_bytes": rss_bytes(),
+    }
+
+
+@dataclass
+class ServiceMetrics:
+    """Mutable counters of one service run (single-threaded: the supervisor).
+
+    Attributes:
+        sessions_submitted: Sessions offered to the service.
+        sessions_resumed_from_output: Completed rows reused from a prior run.
+        sessions_restored: Sessions resumed mid-flight from a WAL snapshot.
+        sessions_completed: Sessions that produced a row this run.
+        sessions_failed: Completed rows whose ``error`` field is set.
+        sessions_shed: Sessions refused by deterministic load shedding.
+        sessions_retried: Distinct sessions retried after a worker death.
+        sessions_quarantined: Sessions abandoned after the retry budget.
+        snapshots_written: WAL snapshot rows appended.
+        backpressure_waits: Times the dispatcher found every queue full and
+            had to wait for capacity.
+        work_steals: Sessions a worker took from another worker's queue.
+        instances_executed: NAB instances run across all sessions this run.
+        wall_seconds: Wall-clock duration of the run's execution phase.
+        latency_seconds_total / latency_seconds_max / latency_count:
+            Per-session wall latency aggregate (submission to row).
+        queue_depths: Final per-worker queue depths (index = worker).
+        cache_stats: Warm-cache statistics captured at the end of the run
+            (topology contexts, min-cut cache, kernel caches with budgets).
+    """
+
+    sessions_submitted: int = 0
+    sessions_resumed_from_output: int = 0
+    sessions_restored: int = 0
+    sessions_completed: int = 0
+    sessions_failed: int = 0
+    sessions_shed: int = 0
+    sessions_retried: int = 0
+    sessions_quarantined: int = 0
+    snapshots_written: int = 0
+    backpressure_waits: int = 0
+    work_steals: int = 0
+    instances_executed: int = 0
+    wall_seconds: float = 0.0
+    latency_seconds_total: float = 0.0
+    latency_seconds_max: float = 0.0
+    latency_count: int = 0
+    queue_depths: List[int] = field(default_factory=list)
+    cache_stats: Dict[str, object] = field(default_factory=dict)
+
+    def record_latency(self, seconds: float) -> None:
+        """Fold one session's submission-to-completion latency in."""
+        self.latency_seconds_total += seconds
+        self.latency_count += 1
+        if seconds > self.latency_seconds_max:
+            self.latency_seconds_max = seconds
+
+    def sessions_per_minute(self) -> Optional[float]:
+        """Completed-session throughput, ``None`` before any wall time."""
+        if self.wall_seconds <= 0:
+            return None
+        return self.sessions_completed * 60.0 / self.wall_seconds
+
+    def mean_latency_seconds(self) -> Optional[float]:
+        """Mean per-session latency, ``None`` before any completion."""
+        if not self.latency_count:
+            return None
+        return self.latency_seconds_total / self.latency_count
+
+    def capture_cache_stats(
+        self, worker_samples: Optional[List[Dict[str, object]]] = None
+    ) -> None:
+        """Sample this process's warm caches into :attr:`cache_stats`.
+
+        ``worker_samples`` — the per-worker samples persistent workers report
+        on shutdown — are attached under ``"workers"``; in pooled mode the
+        warm caches live *there*, not in the supervisor.
+        """
+        self.cache_stats = process_cache_sample()
+        if worker_samples is not None:
+            self.cache_stats["workers"] = list(worker_samples)
+
+    def to_jsonable(self) -> Dict[str, object]:
+        """The ops-metrics schema written to ``<out>.status.json``."""
+        return {
+            "sessions": {
+                "submitted": self.sessions_submitted,
+                "resumed_from_output": self.sessions_resumed_from_output,
+                "restored_from_snapshot": self.sessions_restored,
+                "completed": self.sessions_completed,
+                "failed": self.sessions_failed,
+                "shed": self.sessions_shed,
+                "retried": self.sessions_retried,
+                "quarantined": self.sessions_quarantined,
+            },
+            "snapshots": {"written": self.snapshots_written},
+            "degradation": {
+                "backpressure_waits": self.backpressure_waits,
+                "work_steals": self.work_steals,
+                "queue_depths": list(self.queue_depths),
+            },
+            "throughput": {
+                "instances_executed": self.instances_executed,
+                "wall_seconds": self.wall_seconds,
+                "sessions_per_minute": self.sessions_per_minute(),
+            },
+            "latency": {
+                "count": self.latency_count,
+                "mean_seconds": self.mean_latency_seconds(),
+                "max_seconds": self.latency_seconds_max,
+            },
+            "caches": self.cache_stats,
+        }

@@ -1,0 +1,163 @@
+"""The service's crash-safe write-ahead log.
+
+Checkpoints (and shed notices) are appended as one canonical JSON line each —
+``json.dumps(..., sort_keys=True, separators=(",", ":"))``, the engine
+runner's row serialisation — with a configurable fsync cadence, so a SIGKILL
+at any instant loses at most the un-fsynced tail and never corrupts earlier
+rows.  Loading tolerates exactly that tail: malformed or truncated lines are
+counted and dropped, never fatal.
+
+The latest snapshot per session wins (the log is append-only, so later lines
+supersede earlier ones), mirroring how the engine runner's resume keeps the
+last well-formed row per cell.  Atomic full-file replacement follows the
+PR 6 compaction contract: write a temp file, fsync it, ``os.replace``, then
+best-effort fsync the directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.engine.runner import dump_row
+
+
+def write_rows_atomically(path: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Replace ``path`` with one canonical JSON line per row, crash-safely.
+
+    A kill at any instant leaves either the old file or the complete new one,
+    never a truncated mix; a failed write cleans up its temp file.
+    """
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as tmp:
+            for row in rows:
+                tmp.write(dump_row(row) + "\n")
+            tmp.flush()
+            os.fsync(tmp.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    try:
+        dir_fd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+class WriteAheadLog:
+    """Append-only JSONL log with a bounded-loss fsync cadence.
+
+    Args:
+        path: The log file; created (with parents) on first append.
+        fsync_every: Force the rows to stable storage every this many
+            appends.  ``1`` fsyncs every row (maximum durability); larger
+            values trade a bounded window of re-executable work for fewer
+            synchronous writes.  Every append is *flushed* regardless, so
+            only an OS crash — not a process kill — can lose the window.
+    """
+
+    def __init__(self, path: str, fsync_every: int = 1) -> None:
+        if fsync_every < 1:
+            raise ValueError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = path
+        self.fsync_every = fsync_every
+        self._handle = None
+        self._since_fsync = 0
+        self.appended = 0
+
+    def append(self, row: Dict[str, object]) -> None:
+        """Append one row, flushing always and fsyncing on the cadence."""
+        if self._handle is None:
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(dump_row(row) + "\n")
+        self._handle.flush()
+        self.appended += 1
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_every:
+            os.fsync(self._handle.fileno())
+            self._since_fsync = 0
+
+    def close(self) -> None:
+        """Flush, fsync and close the log (idempotent)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+            self._since_fsync = 0
+
+    def remove(self) -> None:
+        """Close and delete the log — every session it covered is settled."""
+        self.close()
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def load_wal(
+    path: str, schema: Optional[int] = None
+) -> Tuple[Dict[str, Dict[str, object]], Set[str], int]:
+    """Read a WAL back: the latest snapshot per session, shed ids, discards.
+
+    Args:
+        path: The log file (missing is fine: an empty log).
+        schema: When given, rows with a different ``"schema"`` are discarded.
+
+    Returns:
+        ``(snapshots, shed_ids, discarded)`` — ``snapshots`` maps session id
+        to its *latest* well-formed snapshot row; ``shed_ids`` holds the ids
+        of sessions recorded as load-shed (shedding is sticky across resumes:
+        a shed session stays shed rather than flapping back in); ``discarded``
+        counts dropped lines (truncated tails, malformed rows, schema
+        mismatches).
+    """
+    snapshots: Dict[str, Dict[str, object]] = {}
+    shed_ids: Set[str] = set()
+    discarded = 0
+    if not os.path.exists(path):
+        return snapshots, shed_ids, discarded
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                discarded += 1
+                continue
+            if not isinstance(row, dict):
+                discarded += 1
+                continue
+            if schema is not None and row.get("schema") != schema:
+                discarded += 1
+                continue
+            kind = row.get("kind")
+            session_id = row.get("session_id")
+            if kind == "snapshot" and isinstance(session_id, str):
+                snapshots[session_id] = row
+            elif kind == "shed" and isinstance(session_id, str):
+                shed_ids.add(session_id)
+            else:
+                discarded += 1
+    return snapshots, shed_ids, discarded

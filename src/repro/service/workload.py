@@ -1,0 +1,90 @@
+"""Deterministic session workload generation for benchmarks and chaos runs.
+
+A workload is a pure function of its arguments: session ``i`` gets the
+``i``-th topology/strategy of the given cycles, a stable human-readable id and
+a SHA-256-derived private seed, so two processes generating the same workload
+agree on every session byte for byte — the premise of the chaos harness's
+"restart with the same arguments and resume" contract.
+
+Faulty-set placement mirrors the experiment grid
+(:meth:`repro.engine.spec.ExperimentSpec._faulty_nodes`): source-attacking
+strategies corrupt the source itself, every other strategy corrupts the ``f``
+highest-numbered non-source nodes, fault-free sessions corrupt nobody.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.service.session import FAULT_FREE, SessionSpec, session_seed
+from repro.types import NodeId
+from repro.workloads.scenarios import named_strategies, strategy_attacks_source
+from repro.workloads.topologies import topology
+from repro.exceptions import ConfigurationError
+
+
+def _placement(
+    strategy: str, topology_name: str, source: NodeId, max_faults: int
+) -> Tuple[NodeId, ...]:
+    """Deterministic faulty-set placement (the experiment grid's rule)."""
+    if strategy == FAULT_FREE:
+        return ()
+    nodes = sorted(topology(topology_name).nodes())
+    non_source = [node for node in nodes if node != source]
+    if strategy_attacks_source(strategy):
+        extras = sorted(non_source, reverse=True)[: max_faults - 1]
+        return tuple(sorted([source] + extras))
+    return tuple(sorted(sorted(non_source, reverse=True)[:max_faults]))
+
+
+def generate_sessions(
+    count: int,
+    topologies: Sequence[str] = ("k7-unit",),
+    strategies: Sequence[str] = (FAULT_FREE,),
+    payload_bytes: int = 2,
+    instances: int = 1,
+    max_faults: int = 1,
+    seed: int = 0,
+    service: str = "service",
+    source: NodeId = 1,
+) -> List[SessionSpec]:
+    """``count`` deterministic sessions cycling the topology/strategy axes.
+
+    Session ``i`` uses ``topologies[i % len]`` and ``strategies[i % len]``;
+    its id is ``{service}/{i:06d}/{topology}/{strategy}`` and its seed is
+    derived from ``seed`` and that id, so disjoint workloads never share
+    randomness and identical calls reproduce identical specs.
+
+    Raises:
+        ConfigurationError: if an axis is empty or a strategy is unknown.
+    """
+    if count < 0:
+        raise ConfigurationError(f"count must be non-negative, got {count}")
+    if not topologies or not strategies:
+        raise ConfigurationError("topologies and strategies must be non-empty")
+    known = set(named_strategies()) | {FAULT_FREE}
+    for name in strategies:
+        if name not in known:
+            raise ConfigurationError(
+                f"unknown strategy {name!r}; available: {sorted(known)}"
+            )
+    sessions: List[SessionSpec] = []
+    for index in range(count):
+        topology_name = topologies[index % len(topologies)]
+        strategy = strategies[index % len(strategies)]
+        session_id = f"{service}/{index:06d}/{topology_name}/{strategy}"
+        sessions.append(
+            SessionSpec(
+                service=service,
+                session_id=session_id,
+                topology=topology_name,
+                strategy=strategy,
+                faulty_nodes=_placement(strategy, topology_name, source, max_faults),
+                payload_bytes=payload_bytes,
+                instances=instances,
+                max_faults=max_faults,
+                seed=session_seed(seed, session_id),
+                source=source,
+            )
+        )
+    return sessions

@@ -93,15 +93,27 @@ class DeliveryTiming:
 
 
 class ScheduledNetwork(SynchronousNetwork):
-    """Message transport whose clock is driven by the discrete-event kernel."""
+    """Message transport whose clock is driven by the discrete-event kernel.
+
+    ``start_time`` restores the measured clock mid-flight: the first round
+    begins at that absolute instant instead of 0, so a session resumed from a
+    snapshot continues on the same session-absolute timeline it stopped on.
+    Durations are unaffected — :meth:`elapsed_time` reports ``end -
+    start_time``, keeping the zero-latency equality with the analytical
+    accountant (which only ever counts durations) intact.
+    """
 
     def __init__(
         self,
         graph: NetworkGraph,
         fault_model: FaultModel | None = None,
         link_model: LinkModel | None = None,
+        start_time: Fraction | int = 0,
     ) -> None:
         super().__init__(graph, fault_model)
+        self.start_time = Fraction(start_time)
+        if self.start_time < 0:
+            raise ValueError(f"start_time must be non-negative, got {self.start_time}")
         self.link_model = link_model if link_model is not None else LinkModel()
         #: Per phase, the messages of its round in send order.  Round order
         #: and fixed overhead come from the accountant (the single ledger),
@@ -197,7 +209,7 @@ class ScheduledNetwork(SynchronousNetwork):
             return self._replay_cache
         timeline: List[DeliveryTiming] = []
         segments: List[PhaseSegment] = []
-        start = Fraction(0)
+        start = self.start_time
         for phase in self.accountant.phase_names():
             end = start
             busy: Dict[Edge, Fraction] = {}
@@ -229,8 +241,8 @@ class ScheduledNetwork(SynchronousNetwork):
         return self._replay_cache
 
     def elapsed_time(self) -> Fraction:
-        """Measured completion time: when the last round's last delivery lands."""
-        return self._replay()[2]
+        """Measured duration: last delivery's landing time minus ``start_time``."""
+        return self._replay()[2] - self.start_time
 
     def phase_segments(self) -> List[PhaseSegment]:
         """Measured ``(phase, start, end)`` per synchronous round, in order."""

@@ -417,6 +417,30 @@ class TestCrashTolerantWorkers:
         run_spec(spec, out_path=clean_out, workers=2, retry_backoff=0)
         assert _read_bytes(out) == _read_bytes(clean_out)
 
+    def test_stale_quarantine_is_reported_when_resume_retries_nothing(
+        self, tmp_path, monkeypatch
+    ):
+        marker = tmp_path / "markers"
+        marker.mkdir()
+        monkeypatch.setitem(
+            _REGISTRY,
+            "crash-always",
+            _CrashUntilSentinel("crash-always", str(marker), 99),
+        )
+        spec = _crash_spec("crash-always")
+        out = str(tmp_path / "rows.jsonl")
+        first = run_spec(
+            spec, out_path=out, workers=2, retry_backoff=0, max_cell_retries=1
+        )
+        assert first.quarantined_cells == 1
+        # Resume with limit=0: nothing is retried, so without the stale check
+        # the leftover quarantine file would vanish from the summary.
+        second = run_spec(spec, out_path=out, workers=2, limit=0)
+        assert second.quarantined_cells == 0
+        assert second.stale_quarantined_cells == 1
+        assert second.quarantine_path == out + ".quarantine.jsonl"
+        assert os.path.exists(out + ".quarantine.jsonl")
+
 
 class TestCrashSafeCompaction:
     def test_kill_between_write_and_rename_preserves_the_file(
